@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Reproduces the paper's execmodes figure (Fig05) and checks
+ * its qualitative conclusions. See core/figures.cc for the harness.
+ */
+
+#include "core/report.hh"
+
+int
+main()
+{
+    return middlesim::core::figureMain(middlesim::core::runFig05);
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Reproduces the paper's comm_abs figure (Fig15) and checks
+ * its qualitative conclusions. See core/figures.cc for the harness.
+ */
+
+#include "core/report.hh"
+
+int
+main()
+{
+    return middlesim::core::figureMain(middlesim::core::runFig15);
+}

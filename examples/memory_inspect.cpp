@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deep-dive characterization of one workload configuration.
+ *
+ * Prints every observable the paper's methodology collects —
+ * execution modes (mpstat), CPI stall buckets and the data-stall
+ * decomposition (cpustat counters), cache miss classification,
+ * cache-to-cache behavior, lock/pool contention and GC activity —
+ * for a workload and processor-set size given on the command line.
+ *
+ * Usage: memory_inspect [jbb|ecperf] [appCpus] [scale] [cpusPerL2]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/experiment.hh"
+
+using namespace middlesim;
+
+int
+main(int argc, char **argv)
+{
+    core::ExperimentSpec spec;
+    spec.workload = core::WorkloadKind::SpecJbb;
+    if (argc > 1 && std::strcmp(argv[1], "ecperf") == 0)
+        spec.workload = core::WorkloadKind::Ecperf;
+    spec.appCpus = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
+                            : 4;
+    spec.scale = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3]))
+                          : 0;
+    if (argc > 4) {
+        spec.cpusPerL2 = static_cast<unsigned>(std::atoi(argv[4]));
+        spec.totalCpus = spec.appCpus;
+    }
+    spec.seed = 7;
+
+    core::BuiltWorkload workload;
+    auto system = core::buildSystem(spec, workload);
+    const core::RunResult r =
+        core::measure(*system, spec, workload);
+
+    std::printf("workload=%s appCpus=%u scale=%u\n",
+                spec.workload == core::WorkloadKind::SpecJbb ? "SPECjbb"
+                                                             : "ECperf",
+                spec.appCpus, spec.resolvedScale());
+    std::printf("interval %.3fs  tx %llu  throughput %.0f/s  "
+                "path %.0f instr/tx\n",
+                r.seconds, (unsigned long long)r.txTotal, r.throughput,
+                r.pathLength());
+
+    const auto &c = r.cpi;
+    std::printf("\n-- CPI (total %.3f over %llu Minstr) --\n", c.cpi(),
+                (unsigned long long)(c.instructions / 1000000));
+    auto row = [&](const char *name, sim::Tick v) {
+        std::printf("  %-12s %6.3f  (%4.1f%%)\n", name,
+                    c.cpi() * c.fraction(v), 100.0 * c.fraction(v));
+    };
+    row("other", c.base);
+    row("i-stall", c.iStall);
+    row("d-storebuf", c.dsStoreBuf);
+    row("d-raw", c.dsRaw);
+    row("d-l2hit", c.dsL2Hit);
+    row("d-c2c", c.dsC2C);
+    row("d-memory", c.dsMemory);
+    row("d-other", c.dsOther);
+
+    const auto &m = r.modes;
+    std::printf("\n-- execution modes --\n");
+    std::printf("  user %.1f%%  system %.1f%%  io %.1f%%  idle %.1f%%  "
+                "gcidle %.1f%%\n",
+                100.0 * m.fraction(m.user), 100.0 * m.fraction(m.system),
+                100.0 * m.fraction(m.io), 100.0 * m.fraction(m.idle),
+                100.0 * m.fraction(m.gcIdle));
+    std::printf("  context switches: %llu\n",
+                (unsigned long long)system->scheduler().contextSwitches());
+
+    const auto &s = r.cache;
+    const double kinstr = static_cast<double>(c.instructions) / 1000.0;
+    std::printf("\n-- memory system (app CPUs) --\n");
+    std::printf("  ifetch %llu  loads %llu  stores %llu  atomics %llu\n",
+                (unsigned long long)s.ifetches,
+                (unsigned long long)s.loads,
+                (unsigned long long)s.stores,
+                (unsigned long long)s.atomics);
+    std::printf("  L1I hit %.2f%%  L1D hit %.2f%%\n",
+                100.0 * (double)s.l1iHits / (double)s.ifetches,
+                100.0 * (double)s.l1dHits / (double)(s.loads + s.stores));
+    std::printf("  L2 accesses %llu  hits %llu\n",
+                (unsigned long long)s.l2Accesses,
+                (unsigned long long)s.l2Hits);
+    std::printf("  misses/1000instr: instr %.2f  data %.2f\n",
+                (double)s.instrMisses / kinstr,
+                (double)s.dataMisses / kinstr);
+    std::printf("  miss classes: cold %llu  coherence %llu  "
+                "capacity %llu\n",
+                (unsigned long long)s.missCold,
+                (unsigned long long)s.missCoherence,
+                (unsigned long long)s.missCapacity);
+    std::printf("  c2c %llu (%.1f%% of misses)  upgrades %llu  "
+                "writebacks %llu\n",
+                (unsigned long long)s.c2cTransfers,
+                100.0 * s.c2cRatio(),
+                (unsigned long long)s.upgrades,
+                (unsigned long long)s.writebacks);
+    std::printf("  bus: %llu txns, mean queue %.1f cyc\n",
+                (unsigned long long)system->memory().bus().transactions(),
+                system->memory().bus().meanQueueDelay());
+
+    std::printf("\n-- data misses by region --\n");
+    for (const auto &region : system->memory().regions()) {
+        if (region.total() == 0)
+            continue;
+        std::printf("  %-12s total %8llu  cold %8llu  coh %8llu  "
+                    "cap %8llu\n",
+                    region.name.c_str(),
+                    (unsigned long long)region.total(),
+                    (unsigned long long)region.missCold,
+                    (unsigned long long)region.missCoherence,
+                    (unsigned long long)region.missCapacity);
+    }
+
+    std::printf("\n-- JVM --\n");
+    std::printf("  GCs: %llu minor, %llu major; pause %.1f ms total; "
+                "live-after %.0f MB; gc %.1f%% of time\n",
+                (unsigned long long)r.gcMinor,
+                (unsigned long long)r.gcMajor,
+                1000.0 * sim::ticksToSeconds(r.gcPause), r.liveAfterMB,
+                100.0 * r.gcFraction());
+    std::printf("  jvm-internal lock: %llu acquires, %llu contended\n",
+                (unsigned long long)
+                    system->vm().internalLock().acquires(),
+                (unsigned long long)
+                    system->vm().internalLock().contendedAcquires());
+    if (workload.ecperf) {
+        std::printf("\n-- application server --\n");
+        std::printf("  bean cache hit rate %.1f%% (occupied %.0f MB)\n",
+                    100.0 * r.beanHitRate,
+                    (double)workload.ecperf->beanCache().occupiedBytes()
+                        / 1048576.0);
+        std::printf("  conn pool: %llu acquires, %llu exhausted\n",
+                    (unsigned long long)
+                        workload.ecperf->connPool().acquires(),
+                    (unsigned long long)
+                        workload.ecperf->connPool().exhaustedAcquires());
+        std::printf("  netstack lock: %llu acquires, %llu contended\n",
+                    (unsigned long long)
+                        system->kernel().netstackLock().acquires(),
+                    (unsigned long long)system->kernel()
+                        .netstackLock().contendedAcquires());
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: build a simulated machine, run SPECjbb on it, and print
+ * the headline memory-system observables.
+ *
+ * This is the smallest useful tour of the public API:
+ *   1. describe an experiment (workload, processor-set size, scale),
+ *   2. run it,
+ *   3. read back throughput, CPI breakdown, execution modes, cache
+ *      behavior and GC activity.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "sim/log.hh"
+
+using namespace middlesim;
+
+int
+main()
+{
+    core::ExperimentSpec spec;
+    spec.workload = core::WorkloadKind::SpecJbb;
+    spec.appCpus = 4;   // psrset of 4 CPUs on the 16-CPU machine
+    spec.scale = 4;     // 4 warehouses (one thread each)
+    spec.seed = 42;
+
+    std::printf("middlesim quickstart: SPECjbb, %u warehouses on %u of "
+                "%u CPUs\n",
+                spec.resolvedScale(), spec.appCpus, spec.totalCpus);
+
+    const core::RunResult r = core::runExperiment(spec);
+
+    std::printf("\nmeasured interval : %.3f s\n", r.seconds);
+    std::printf("transactions      : %llu (%.0f tx/s)\n",
+                static_cast<unsigned long long>(r.txTotal),
+                r.throughput);
+    std::printf("path length       : %.0f instructions/tx\n",
+                r.pathLength());
+
+    std::printf("\nCPI breakdown (Figure 6 buckets)\n");
+    std::printf("  total CPI       : %.2f\n", r.cpi.cpi());
+    std::printf("  other           : %.2f\n",
+                r.cpi.cpi() * r.cpi.fraction(r.cpi.base));
+    std::printf("  instr stall     : %.2f\n",
+                r.cpi.cpi() * r.cpi.fraction(r.cpi.iStall));
+    std::printf("  data stall      : %.2f\n",
+                r.cpi.cpi() * r.cpi.fraction(r.cpi.dataStall()));
+
+    std::printf("\nexecution modes (Figure 5 buckets)\n");
+    std::printf("  user   : %5.1f %%\n",
+                100.0 * r.modes.fraction(r.modes.user));
+    std::printf("  system : %5.1f %%\n",
+                100.0 * r.modes.fraction(r.modes.system));
+    std::printf("  idle   : %5.1f %%\n",
+                100.0 * r.modes.fraction(r.modes.idle));
+    std::printf("  gcidle : %5.1f %%\n",
+                100.0 * r.modes.fraction(r.modes.gcIdle));
+
+    std::printf("\nmemory system\n");
+    std::printf("  L2 misses           : %llu\n",
+                static_cast<unsigned long long>(r.cache.l2Misses()));
+    std::printf("  data misses/1000 in : %.2f\n",
+                1000.0 * static_cast<double>(r.cache.dataMisses) /
+                    static_cast<double>(r.cpi.instructions));
+    std::printf("  c2c transfer ratio  : %.1f %%\n",
+                100.0 * r.cache.c2cRatio());
+
+    std::printf("\ngarbage collection\n");
+    std::printf("  collections : %llu minor, %llu major\n",
+                static_cast<unsigned long long>(r.gcMinor),
+                static_cast<unsigned long long>(r.gcMajor));
+    std::printf("  live after  : %.0f MB\n", r.liveAfterMB);
+    std::printf("  gc fraction : %.1f %%\n", 100.0 * r.gcFraction());
+    return 0;
+}

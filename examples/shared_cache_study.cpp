@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Chip-multiprocessor design study: how much L2 should CMP cores
+ * share for middleware workloads?
+ *
+ * This reproduces the design question behind the paper's Section 5.3
+ * and extends it: for each workload, sweep both the sharing degree
+ * (CPUs per L2) and the per-cache capacity, and report the data miss
+ * rate and effective cache-to-cache elimination. The punchline of the
+ * paper — ECperf prefers one shared cache even at 1/8 the aggregate
+ * capacity, SPECjbb-25 prefers private caches — falls out of the
+ * first two columns.
+ *
+ * Usage: shared_cache_study [quick]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.hh"
+
+using namespace middlesim;
+
+namespace
+{
+
+struct Cell
+{
+    double mpki = 0.0;
+    double c2cRatio = 0.0;
+    double throughput = 0.0;
+};
+
+Cell
+measure(core::WorkloadKind kind, unsigned scale, unsigned share,
+        std::uint64_t l2_bytes, double time_scale)
+{
+    core::ExperimentSpec spec;
+    spec.workload = kind;
+    spec.appCpus = 8;
+    spec.totalCpus = 8;
+    spec.cpusPerL2 = share;
+    spec.scale = scale;
+    spec.seed = 21;
+    spec.sys.machine.l2.sizeBytes = l2_bytes;
+    spec.warmup = static_cast<sim::Tick>(15e6 * time_scale);
+    spec.measure = static_cast<sim::Tick>(35e6 * time_scale);
+    const core::RunResult r = core::runExperiment(spec);
+    Cell cell;
+    cell.mpki = 1000.0 * static_cast<double>(r.cache.dataMisses) /
+                static_cast<double>(r.cpi.instructions);
+    cell.c2cRatio = r.cache.c2cRatio();
+    cell.throughput = r.throughput;
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::strcmp(argv[1], "quick") == 0;
+    const double ts = quick ? 0.3 : 1.0;
+
+    std::printf("CMP shared-cache design study (8 cores)\n");
+    std::printf("workload        L2/cache  cpus/L2  data-MPKI  "
+                "c2c-ratio  tx/s\n");
+    std::printf("---------------------------------------------------"
+                "-----------\n");
+
+    struct Config
+    {
+        const char *name;
+        core::WorkloadKind kind;
+        unsigned scale;
+    };
+    const Config configs[] = {
+        {"ecperf", core::WorkloadKind::Ecperf, 8},
+        {"specjbb-25", core::WorkloadKind::SpecJbb, 25},
+    };
+
+    for (const auto &cfg : configs) {
+        for (unsigned share : {1u, 2u, 4u, 8u}) {
+            const Cell cell =
+                measure(cfg.kind, cfg.scale, share, 1u << 20, ts);
+            std::printf("%-14s  %8s  %7u  %9.2f  %8.1f%%  %6.0f\n",
+                        cfg.name, "1MB", share, cell.mpki,
+                        100.0 * cell.c2cRatio, cell.throughput);
+        }
+        // How much private capacity buys the same miss rate as
+        // sharing does for ECperf (and vice versa for SPECjbb).
+        for (std::uint64_t kb : {2048u, 4096u}) {
+            const Cell cell =
+                measure(cfg.kind, cfg.scale, 1, kb * 1024, ts);
+            std::printf("%-14s  %6lluKB  %7u  %9.2f  %8.1f%%  %6.0f\n",
+                        cfg.name,
+                        static_cast<unsigned long long>(kb), 1u,
+                        cell.mpki, 100.0 * cell.c2cRatio,
+                        cell.throughput);
+        }
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Reading: for ECperf a single shared 1 MB cache beats eight\n"
+        "private 1 MB caches (coherence misses vanish; the shared\n"
+        "working set is deduplicated). For SPECjbb-25 the per-\n"
+        "warehouse working sets overflow a shared cache and private\n"
+        "caches win - the paper's Section 5.3 conclusion.\n");
+    return 0;
+}

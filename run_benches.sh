@@ -1,0 +1,15 @@
+#!/bin/bash
+for b in fig04_scaling fig05_execmodes fig06_cpi fig07_datastall \
+         fig08_c2c_ratio fig09_gc_effect fig10_c2c_timeline \
+         fig11_livemem fig12_icache fig13_dcache fig14_comm_pct \
+         fig15_comm_abs fig16_shared; do
+    echo "################ $b"
+    ./build/bench/$b
+    echo
+done
+echo "################ ablation_mechanisms"
+./build/bench/ablation_mechanisms
+echo
+echo "################ micro_simulator"
+./build/bench/micro_simulator --benchmark_min_time=0.05
+echo "ALL_BENCHES_DONE"

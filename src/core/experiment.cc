@@ -1,0 +1,152 @@
+#include "core/experiment.hh"
+
+#include "sim/log.hh"
+
+namespace middlesim::core
+{
+
+unsigned
+ExperimentSpec::resolvedScale() const
+{
+    if (scale != 0)
+        return scale;
+    return workload == WorkloadKind::SpecJbb ? appCpus : 8;
+}
+
+double
+RunResult::pathLength() const
+{
+    return txTotal ? static_cast<double>(cpi.instructions) /
+                     static_cast<double>(txTotal)
+                   : 0.0;
+}
+
+double
+RunResult::gcFraction() const
+{
+    const double total = seconds;
+    if (total <= 0.0)
+        return 0.0;
+    return sim::ticksToSeconds(gcPause) / total;
+}
+
+std::unique_ptr<System>
+buildSystem(const ExperimentSpec &spec, BuiltWorkload &out)
+{
+    SystemConfig cfg = spec.sys;
+    cfg.machine.totalCpus = spec.totalCpus;
+    cfg.machine.appCpus = spec.appCpus;
+    cfg.machine.cpusPerL2 = spec.cpusPerL2;
+
+    auto system = std::make_unique<System>(cfg, spec.seed);
+    if (spec.trackCommunication)
+        system->memory().setCommunicationTracking(true);
+
+    // Address-space regions for miss attribution diagnostics.
+    mem::Hierarchy &hmem = system->memory();
+    const jvm::Heap &heap = system->vm().heap();
+    hmem.defineRegion("young-gen", heap.newGenBase(),
+                      heap.newGenCapacity());
+    hmem.defineRegion("kernel-data", os::KernelModel::dataBase,
+                      0x1'0000'0000ULL);
+    hmem.defineRegion("stacks", 0x3'0000'0000ULL, 0x1'0000'0000ULL);
+
+    if (spec.workload == WorkloadKind::SpecJbb) {
+        workload::SpecJbbParams params = spec.jbb;
+        params.warehouses = spec.resolvedScale();
+        out.jbb = workload::buildSpecJbb(params, system->vm(),
+                                         system->forkRng());
+        for (auto &thread : out.jbb->makeThreads())
+            system->addProgram(std::move(thread));
+    } else {
+        workload::EcperfParams params = spec.ecperf;
+        params.injectionRate = spec.resolvedScale();
+        out.ecperf = workload::buildEcperf(params, system->vm(),
+                                           system->kernel(),
+                                           spec.appCpus,
+                                           system->forkRng());
+        hmem.defineRegion("bean-slab", out.ecperf->beanSlabBase(),
+                          out.ecperf->beanSlabBytes());
+        hmem.defineRegion("sessions", out.ecperf->sessionBase(),
+                          out.ecperf->sessionBytes());
+        for (auto &thread : out.ecperf->makeThreads())
+            system->addProgram(std::move(thread));
+    }
+    hmem.defineRegion("old-gen", heap.oldGenBase(),
+                      heap.oldGenCapacity());
+    return system;
+}
+
+RunResult
+measure(System &system, const ExperimentSpec &spec,
+        BuiltWorkload &workload)
+{
+    system.run(spec.warmup);
+    system.beginMeasurement();
+    system.memory().resetRegionStats();
+    if (workload.ecperf)
+        workload.ecperf->beanCache().resetStats();
+    if (spec.trackCommunication)
+        system.memory().resetCommunicationTracking();
+    system.run(spec.measure);
+
+    RunResult res;
+    res.seconds = system.measuredSeconds();
+    res.txTotal = system.txTotal();
+    const unsigned num_types =
+        spec.workload == WorkloadKind::SpecJbb
+            ? workload::jbbNumTxTypes
+            : workload::ecperfNumTxTypes;
+    for (unsigned t = 0; t < num_types; ++t)
+        res.txByType.push_back(system.txCount(t));
+    res.throughput = system.throughput();
+    res.cpi = system.appCpi();
+    res.modes = system.appModes();
+    res.cache = system.appCacheStats();
+
+    const jvm::Jvm::Stats &gc = system.vm().stats();
+    res.gcMinor = gc.minorCollections;
+    res.gcMajor = gc.majorCollections;
+    res.gcPause = gc.totalPause;
+    res.liveAfterMB = gc.liveAfterMB.count()
+                          ? gc.liveAfterMB.mean()
+                          : static_cast<double>(
+                                system.vm().heap().oldUsed()) /
+                                (1024.0 * 1024.0);
+    if (workload.ecperf)
+        res.beanHitRate = workload.ecperf->beanCache().hitRate();
+    return res;
+}
+
+RunResult
+runExperiment(const ExperimentSpec &spec)
+{
+    BuiltWorkload workload;
+    auto system = buildSystem(spec, workload);
+    return measure(*system, spec, workload);
+}
+
+std::vector<RunResult>
+runRepeated(const ExperimentSpec &spec, unsigned runs)
+{
+    std::vector<RunResult> results;
+    results.reserve(runs);
+    for (unsigned r = 0; r < runs; ++r) {
+        ExperimentSpec s = spec;
+        s.seed = spec.seed + 0x1000 * (r + 1);
+        results.push_back(runExperiment(s));
+    }
+    return results;
+}
+
+stats::RunningStat
+summarize(const std::vector<RunResult> &results,
+          const std::function<double(const RunResult &)> &metric)
+{
+    stats::RunningStat stat;
+    for (const RunResult &r : results)
+        stat.add(metric(r));
+    return stat;
+}
+
+} // namespace middlesim::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure-reproduction harnesses.
+ *
+ * One function per evaluation figure of the paper (Figures 4-16;
+ * Figures 1-3 are block diagrams). Each returns the measured series,
+ * the digitized paper series, a printable table, and the shape checks
+ * that encode the paper's qualitative conclusions for that figure.
+ * The bench binaries, the integration tests and the examples all
+ * share these harnesses.
+ */
+
+#ifndef CORE_FIGURES_HH
+#define CORE_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "stats/series.hh"
+#include "stats/table.hh"
+
+namespace middlesim::core
+{
+
+/** Effort knobs shared by all figure harnesses. */
+struct FigureOptions
+{
+    /** Runs per measured point (variability methodology). */
+    unsigned runs = 3;
+    /** Scales warmup/measure intervals (tests use < 1). */
+    double timeScale = 1.0;
+    std::uint64_t seed = 1;
+
+    /**
+     * Honors MIDDLESIM_RUNS and MIDDLESIM_QUICK (=1: single run,
+     * 0.5x intervals) environment variables.
+     */
+    static FigureOptions fromEnv();
+};
+
+/** One qualitative conclusion of the paper, checked on our data. */
+struct ShapeCheck
+{
+    std::string what;
+    bool pass = false;
+    std::string detail;
+};
+
+/** Everything a figure reproduction produces. */
+struct FigureResult
+{
+    std::string id;
+    std::string title;
+    std::vector<stats::Series> measured;
+    std::vector<stats::Series> paperRef;
+    stats::Table table;
+    std::vector<ShapeCheck> checks;
+
+    bool
+    allPass() const
+    {
+        for (const auto &c : checks) {
+            if (!c.pass)
+                return false;
+        }
+        return true;
+    }
+};
+
+FigureResult runFig04(const FigureOptions &opt = {});
+FigureResult runFig05(const FigureOptions &opt = {});
+FigureResult runFig06(const FigureOptions &opt = {});
+FigureResult runFig07(const FigureOptions &opt = {});
+FigureResult runFig08(const FigureOptions &opt = {});
+FigureResult runFig09(const FigureOptions &opt = {});
+FigureResult runFig10(const FigureOptions &opt = {});
+FigureResult runFig11(const FigureOptions &opt = {});
+FigureResult runFig12(const FigureOptions &opt = {});
+FigureResult runFig13(const FigureOptions &opt = {});
+FigureResult runFig14(const FigureOptions &opt = {});
+FigureResult runFig15(const FigureOptions &opt = {});
+FigureResult runFig16(const FigureOptions &opt = {});
+
+/**
+ * The scaling sweep shared by Figures 4-9: both workloads measured at
+ * the paper's processor counts. Cached per (options) within one
+ * process so the six figures don't redo identical simulations.
+ */
+struct ScalingPoint
+{
+    unsigned cpus = 0;
+    std::vector<RunResult> ecperf;
+    std::vector<RunResult> jbb;
+};
+
+const std::vector<ScalingPoint> &scalingSweep(const FigureOptions &opt);
+
+} // namespace middlesim::core
+
+#endif // CORE_FIGURES_HH

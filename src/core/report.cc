@@ -1,0 +1,31 @@
+#include "core/report.hh"
+
+#include <iostream>
+
+namespace middlesim::core
+{
+
+void
+printFigure(const FigureResult &fig, std::ostream &os)
+{
+    os << "=== " << fig.id << ": " << fig.title << " ===\n\n";
+    fig.table.print(os);
+    os << "\nshape checks:\n";
+    for (const auto &c : fig.checks) {
+        os << "  [" << (c.pass ? "PASS" : "FAIL") << "] " << c.what
+           << "  (" << c.detail << ")\n";
+    }
+    os << (fig.allPass() ? "=> all shape checks passed\n"
+                         : "=> SOME SHAPE CHECKS FAILED\n");
+}
+
+int
+figureMain(FigureResult (*harness)(const FigureOptions &))
+{
+    const FigureOptions opt = FigureOptions::fromEnv();
+    const FigureResult fig = harness(opt);
+    printFigure(fig, std::cout);
+    return fig.allPass() ? 0 : 1;
+}
+
+} // namespace middlesim::core

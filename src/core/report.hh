@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Rendering of figure reproductions (tables + shape-check verdicts).
+ */
+
+#ifndef CORE_REPORT_HH
+#define CORE_REPORT_HH
+
+#include <ostream>
+
+#include "core/figures.hh"
+
+namespace middlesim::core
+{
+
+/** Print one reproduced figure: header, table, checks, verdict. */
+void printFigure(const FigureResult &fig, std::ostream &os);
+
+/**
+ * Standard main() body for the per-figure bench binaries: runs the
+ * harness with options from the environment, prints the report, and
+ * returns 0 when every shape check passes (1 otherwise).
+ */
+int figureMain(FigureResult (*harness)(const FigureOptions &));
+
+} // namespace middlesim::core
+
+#endif // CORE_REPORT_HH

@@ -1,0 +1,384 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace middlesim::core
+{
+
+System::System(const SystemConfig &config, std::uint64_t seed)
+    : cfg_(config), rng_(seed)
+{
+    cfg_.machine.validate();
+    mem_ = std::make_unique<mem::Hierarchy>(cfg_.machine, cfg_.latency,
+                                            cfg_.busContention);
+    sched_ = std::make_unique<os::Scheduler>(cfg_.machine.totalCpus,
+                                             cfg_.machine.appCpus,
+                                             cfg_.rechoose);
+    kernel_ = std::make_unique<os::KernelModel>(cfg_.kernel);
+    jvm_ = std::make_unique<jvm::Jvm>(cfg_.jvm, rng_.fork());
+
+    cores_.reserve(cfg_.machine.totalCpus);
+    for (unsigned c = 0; c < cfg_.machine.totalCpus; ++c) {
+        cores_.push_back(std::make_unique<cpu::InOrderCore>(
+            c, *mem_, cfg_.core, rng_.fork()));
+        cpuRngs_.push_back(rng_.fork());
+    }
+    current_.assign(cfg_.machine.totalCpus, -1);
+    sliceEnd_.assign(cfg_.machine.totalCpus, 0);
+    txCounts_.assign(16, 0);
+
+    if (cfg_.osBackground) {
+        for (unsigned c = 0; c < cfg_.machine.totalCpus; ++c) {
+            addProgram(kernel_->makeHousekeeper(c, rng_.fork()),
+                       /*in_app_set=*/false, /*bound_cpu=*/
+                       static_cast<int>(c));
+        }
+    }
+}
+
+unsigned
+System::addProgram(std::unique_ptr<exec::ThreadProgram> program,
+                   bool in_app_set, int bound_cpu)
+{
+    const unsigned tid =
+        sched_->addThread(program.get(), in_app_set, bound_cpu);
+    programs_.push_back(std::move(program));
+    return tid;
+}
+
+void
+System::run(sim::Tick duration)
+{
+    const sim::Tick end = now_ + duration;
+    while (now_ < end) {
+        startGcIfNeeded();
+        const sim::Tick window_end = now_ + cfg_.window;
+        for (unsigned c = 0; c < cfg_.machine.totalCpus; ++c)
+            runCpu(c, window_end);
+        mem_->bus().advanceEpoch(cfg_.window);
+        now_ = window_end;
+    }
+}
+
+void
+System::runCpu(unsigned cpu, sim::Tick window_end)
+{
+    cpu::InOrderCore &core = *cores_[cpu];
+    while (core.now() < window_end) {
+        int tid = current_[cpu];
+        if (tid < 0) {
+            tid = sched_->pickFor(cpu, core.now(), gcActive_);
+            if (tid < 0) {
+                // Idle in short quanta and re-poll: a wakeup (lock
+                // handoff, timer) must be able to claim this CPU
+                // promptly within the window.
+                const bool gc_idle = gcActive_ &&
+                    cpu < cfg_.machine.appCpus && cpu != cfg_.gcCpu;
+                const sim::Tick quantum = std::min<sim::Tick>(
+                    500, window_end - core.now());
+                sched_->accountIdle(cpu, quantum, gc_idle);
+                core.advanceTo(core.now() + quantum);
+                continue;
+            }
+            current_[cpu] = tid;
+            sliceEnd_[cpu] = core.now() + cfg_.timeslice;
+            chargeContextSwitch(cpu);
+            sched_->countContextSwitch();
+        }
+
+        os::SimThread &t = sched_->thread(static_cast<unsigned>(tid));
+
+        // Safepoint: application threads drain off the CPUs while a
+        // stop-the-world collection is in progress.
+        if (gcActive_ && t.inAppSet) {
+            sched_->yield(static_cast<unsigned>(tid), core.now());
+            current_[cpu] = -1;
+            continue;
+        }
+
+        burstBuf_.clear();
+        const exec::NextOp op =
+            t.program->next(burstBuf_, core.now());
+        const bool keeps =
+            executeOp(cpu, static_cast<unsigned>(tid), op);
+        if (!keeps) {
+            current_[cpu] = -1;
+            continue;
+        }
+        if (core.now() >= sliceEnd_[cpu] && t.heldLocks == 0) {
+            sched_->yield(static_cast<unsigned>(tid), core.now());
+            current_[cpu] = -1;
+        }
+    }
+}
+
+bool
+System::executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op)
+{
+    cpu::InOrderCore &core = *cores_[cpu];
+    os::SimThread &t = sched_->thread(tid);
+    const sim::Tick before = core.now();
+
+    switch (op.kind) {
+      case exec::OpKind::Burst:
+        executeBurst(core, burstBuf_);
+        sched_->accountMode(cpu, burstBuf_.mode, core.now() - before);
+        return true;
+
+      case exec::OpKind::LockAcquire: {
+        core.atomic(op.lock->lineAddr());
+        if (op.lock->isSpinLock()) {
+            // Adaptive kernel mutex: contenders spin (in op.mode,
+            // typically system time) instead of blocking; the charge
+            // grows with the number of threads inside the section.
+            const unsigned inside =
+                std::min(op.lock->spinEnter(), 6u);
+            if (inside > 0) {
+                const sim::Tick spin = cfg_.spinBase * 2 *
+                    static_cast<sim::Tick>(inside) *
+                    static_cast<sim::Tick>(inside);
+                core.atomic(op.lock->lineAddr());
+                core.execInstructions(static_cast<std::uint64_t>(
+                    static_cast<double>(spin) / cfg_.core.baseCpi) + 1);
+            }
+            // Hold the CPU until the matching release: a preempted
+            // spin-section holder would convoy every other CPU.
+            ++t.heldLocks;
+            sched_->accountMode(cpu, op.mode, core.now() - before);
+            return true;
+        }
+        if (op.lock->tryAcquire(static_cast<int>(tid))) {
+            ++t.heldLocks;
+            sched_->accountMode(cpu, op.mode, core.now() - before);
+            return true;
+        }
+        // Brief spin (probe the lock line) before parking: Java
+        // monitors spin a bounded amount regardless of queue depth.
+        const sim::Tick spin = cfg_.spinBase;
+        core.atomic(op.lock->lineAddr());
+        core.execInstructions(static_cast<std::uint64_t>(
+            static_cast<double>(spin) / cfg_.core.baseCpi) + 1);
+        op.lock->enqueue(tid);
+        sched_->block(tid);
+        sched_->accountMode(cpu, op.mode, core.now() - before);
+        return false;
+      }
+
+      case exec::OpKind::LockRelease: {
+        if (op.lock->isSpinLock()) {
+            core.store(op.lock->lineAddr());
+            op.lock->spinExit();
+            sim_assert(t.heldLocks > 0, "spin-lock count underflow");
+            --t.heldLocks;
+            sched_->accountMode(cpu, op.mode, core.now() - before);
+            return true;
+        }
+        sim_assert(op.lock->owner() == static_cast<int>(tid),
+                   "release by non-owner of ", op.lock->name());
+        core.store(op.lock->lineAddr());
+        sim_assert(t.heldLocks > 0, "lock count underflow");
+        --t.heldLocks;
+        const int next = op.lock->release();
+        if (next >= 0) {
+            // Ownership handoff: the woken thread resumes past its
+            // acquire already holding the lock, and is dispatched
+            // ahead of ordinary runnable threads (turnstile).
+            ++sched_->thread(static_cast<unsigned>(next)).heldLocks;
+            sched_->wake(static_cast<unsigned>(next), /*front=*/true,
+                         core.now());
+        }
+        sched_->accountMode(cpu, op.mode, core.now() - before);
+        return true;
+      }
+
+      case exec::OpKind::PoolAcquire: {
+        core.atomic(op.pool->lineAddr());
+        if (op.pool->tryAcquire()) {
+            sched_->accountMode(cpu, op.mode, core.now() - before);
+            return true;
+        }
+        op.pool->enqueue(tid);
+        sched_->block(tid);
+        sched_->accountMode(cpu, op.mode, core.now() - before);
+        return false;
+      }
+
+      case exec::OpKind::PoolRelease: {
+        core.atomic(op.pool->lineAddr());
+        const int next = op.pool->release();
+        if (next >= 0) {
+            sched_->wake(static_cast<unsigned>(next), /*front=*/true,
+                         core.now(), /*migratable=*/true);
+        }
+        sched_->accountMode(cpu, op.mode, core.now() - before);
+        return true;
+      }
+
+      case exec::OpKind::Wait:
+        sched_->blockUntil(tid, core.now() + op.wait);
+        return false;
+
+      case exec::OpKind::TxDone:
+        if (op.txType >= txCounts_.size())
+            txCounts_.resize(op.txType + 1, 0);
+        ++txCounts_[op.txType];
+        ++t.txCompleted;
+        // Completion bookkeeping; also guarantees forward progress.
+        core.execInstructions(50);
+        sched_->accountMode(cpu, op.mode, core.now() - before);
+        return true;
+
+      case exec::OpKind::Exit:
+        sched_->finish(tid);
+        if (static_cast<int>(tid) == gcTid_)
+            finishGc();
+        return false;
+    }
+    panic("unreachable op kind");
+}
+
+void
+System::executeBurst(cpu::InOrderCore &core, const exec::Burst &burst)
+{
+    const std::uint64_t n = burst.instructions;
+    const std::size_t nrefs = burst.refs.size();
+    std::uint64_t code_off = 0;
+
+    auto exec_chunk = [&](std::uint64_t count) {
+        while (count > 0) {
+            const std::uint64_t step = std::min<std::uint64_t>(count, 16);
+            if (burst.code.bytes > 0) {
+                core.fetchBlock(burst.code.base + code_off);
+                code_off += 64;
+                if (code_off >= burst.code.bytes)
+                    code_off = 0;
+            }
+            core.execInstructions(step);
+            count -= step;
+        }
+    };
+
+    const std::uint64_t per_slot =
+        nrefs ? n / (nrefs + 1) : n;
+    for (std::size_t i = 0; i < nrefs; ++i) {
+        exec_chunk(per_slot);
+        const exec::DataRef &ref = burst.refs[i];
+        switch (ref.type) {
+          case mem::AccessType::Load:
+            core.load(ref.addr);
+            break;
+          case mem::AccessType::Store:
+            core.store(ref.addr);
+            break;
+          case mem::AccessType::Atomic:
+            core.atomic(ref.addr);
+            break;
+          case mem::AccessType::BlockStore:
+            core.blockStore(ref.addr);
+            break;
+          case mem::AccessType::IFetch:
+            core.fetchBlock(ref.addr);
+            break;
+        }
+    }
+    exec_chunk(n - per_slot * nrefs);
+}
+
+void
+System::chargeContextSwitch(unsigned cpu)
+{
+    cpu::InOrderCore &core = *cores_[cpu];
+    burstBuf_.clear();
+    kernel_->fillSwitchBurst(burstBuf_, cpuRngs_[cpu], cpu);
+    const sim::Tick before = core.now();
+    executeBurst(core, burstBuf_);
+    sched_->accountMode(cpu, exec::ExecMode::System,
+                        core.now() - before);
+}
+
+void
+System::startGcIfNeeded()
+{
+    if (gcActive_ || !jvm_->gcRequested())
+        return;
+    gcActive_ = true;
+    gcStart_ = now_;
+    gcProgram_ = jvm_->beginCollection();
+    gcTid_ = static_cast<int>(
+        sched_->addThread(gcProgram_.get(), /*in_app_set=*/false,
+                          static_cast<int>(cfg_.gcCpu)));
+}
+
+void
+System::finishGc()
+{
+    sim_assert(gcActive_, "finishGc without active GC");
+    jvm_->endCollection(gcStart_, cores_[cfg_.gcCpu]->now());
+    gcActive_ = false;
+    gcTid_ = -1;
+}
+
+void
+System::beginMeasurement()
+{
+    mem_->resetStats();
+    for (auto &core : cores_)
+        core->resetStats();
+    sched_->resetAccounting();
+    std::fill(txCounts_.begin(), txCounts_.end(), 0);
+    jvm_->resetStats();
+    measureStart_ = now_;
+}
+
+double
+System::measuredSeconds() const
+{
+    return sim::ticksToSeconds(measuredTicks());
+}
+
+std::uint64_t
+System::txCount(unsigned type) const
+{
+    return type < txCounts_.size() ? txCounts_[type] : 0;
+}
+
+std::uint64_t
+System::txTotal() const
+{
+    std::uint64_t total = 0;
+    for (auto c : txCounts_)
+        total += c;
+    return total;
+}
+
+double
+System::throughput() const
+{
+    const double secs = measuredSeconds();
+    return secs > 0.0 ? static_cast<double>(txTotal()) / secs : 0.0;
+}
+
+cpu::CpiBreakdown
+System::appCpi() const
+{
+    cpu::CpiBreakdown out;
+    for (unsigned c = 0; c < cfg_.machine.appCpus; ++c)
+        out.accumulate(cores_[c]->breakdown());
+    return out;
+}
+
+os::ModeBreakdown
+System::appModes() const
+{
+    return sched_->appModes();
+}
+
+mem::CacheStats
+System::appCacheStats() const
+{
+    return mem_->aggregateRange(0, cfg_.machine.appCpus - 1);
+}
+
+} // namespace middlesim::core

@@ -1,0 +1,110 @@
+#include "mem/cache_array.hh"
+
+#include <bit>
+
+#include "sim/log.hh"
+
+namespace middlesim::mem
+{
+
+CacheArray::CacheArray(const sim::CacheParams &params)
+    : params_(params)
+{
+    params_.validate("cache");
+    blockMask_ = params_.blockBytes - 1;
+    numSets_ = params_.numSets();
+    if ((numSets_ & (numSets_ - 1)) != 0)
+        fatal("cache: number of sets must be a power of two");
+    setShift_ = std::bit_width(
+        static_cast<std::uint64_t>(params_.blockBytes)) - 1;
+    lines_.resize(numSets_ * params_.assoc);
+}
+
+std::uint64_t
+CacheArray::setIndex(Addr addr) const
+{
+    return (addr >> setShift_) & (numSets_ - 1);
+}
+
+CacheLine *
+CacheArray::find(Addr addr)
+{
+    const Addr block = blockAddr(addr);
+    const std::uint64_t base = setIndex(addr) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (line.valid() && line.tag == block)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->find(addr);
+}
+
+CacheLine &
+CacheArray::victim(Addr addr)
+{
+    const std::uint64_t base = setIndex(addr) * params_.assoc;
+    CacheLine *lru = &lines_[base];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (!line.valid())
+            return line;
+        if (line.lru < lru->lru)
+            lru = &line;
+    }
+    return *lru;
+}
+
+void
+CacheArray::install(CacheLine &frame, Addr addr, CoherenceState state)
+{
+    sim_assert(state != CoherenceState::Invalid,
+               "installing an invalid line");
+    frame.tag = blockAddr(addr);
+    frame.state = state;
+    touch(frame);
+}
+
+void
+CacheArray::installStreaming(CacheLine &frame, Addr addr,
+                             CoherenceState state)
+{
+    sim_assert(state != CoherenceState::Invalid,
+               "installing an invalid line");
+    frame.tag = blockAddr(addr);
+    frame.state = state;
+    frame.lru = 0;
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (auto &line : lines_)
+        line = CacheLine();
+    lruClock_ = 0;
+}
+
+std::uint64_t
+CacheArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_) {
+        if (line.valid())
+            ++n;
+    }
+    return n;
+}
+
+std::pair<const CacheLine *, const CacheLine *>
+CacheArray::setOf(Addr addr) const
+{
+    const std::uint64_t base = setIndex(addr) * params_.assoc;
+    return {&lines_[base], &lines_[base + params_.assoc]};
+}
+
+} // namespace middlesim::mem

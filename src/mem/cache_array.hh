@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Generic set-associative cache array with true-LRU replacement.
+ *
+ * This is pure tag/state bookkeeping: it knows nothing about
+ * coherence protocols or latencies. The coherent L2 controller and
+ * the uniprocessor sweep simulator are both built on it.
+ */
+
+#ifndef MEM_CACHE_ARRAY_HH
+#define MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/coherence.hh"
+#include "mem/memref.hh"
+#include "sim/config.hh"
+
+namespace middlesim::mem
+{
+
+/** One cache line's bookkeeping. */
+struct CacheLine
+{
+    Addr tag = 0;
+    CoherenceState state = CoherenceState::Invalid;
+    /** LRU stamp; larger = more recently used. */
+    std::uint64_t lru = 0;
+
+    bool valid() const { return state != CoherenceState::Invalid; }
+};
+
+/** Set-associative tag array. */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const sim::CacheParams &params);
+
+    /** Block-aligned address of a full address. */
+    Addr blockAddr(Addr a) const { return a & ~blockMask_; }
+
+    /**
+     * Find the line caching `addr`, or nullptr. Does not update LRU;
+     * call touch() on a hit.
+     */
+    CacheLine *find(Addr addr);
+    const CacheLine *find(Addr addr) const;
+
+    /** Mark a line most recently used. */
+    void touch(CacheLine &line) { line.lru = ++lruClock_; }
+
+    /**
+     * Choose the victim frame for `addr`: an invalid frame if one
+     * exists, else the LRU line of the set. The caller is responsible
+     * for handling the victim's writeback before overwriting it.
+     */
+    CacheLine &victim(Addr addr);
+
+    /**
+     * Install `addr` into a frame (which must be the result of
+     * victim()) with the given state, and make it MRU.
+     */
+    void install(CacheLine &frame, Addr addr, CoherenceState state);
+
+    /**
+     * Install at the LRU position (streaming insertion): used for
+     * block-initializing stores, whose lines are typically displaced
+     * before reuse. Keeps allocation waves from flushing the working
+     * set.
+     */
+    void installStreaming(CacheLine &frame, Addr addr,
+                          CoherenceState state);
+
+    /** Invalidate every line (e.g. between experiment phases). */
+    void invalidateAll();
+
+    /** Number of valid lines currently held. */
+    std::uint64_t validCount() const;
+
+    const sim::CacheParams &params() const { return params_; }
+
+    /** Iterate lines of the set containing addr (for snoops/tests). */
+    std::pair<const CacheLine *, const CacheLine *> setOf(Addr addr) const;
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+
+    sim::CacheParams params_;
+    Addr blockMask_;
+    std::uint64_t setShift_;
+    std::uint64_t numSets_;
+    std::vector<CacheLine> lines_;
+    std::uint64_t lruClock_ = 0;
+};
+
+} // namespace middlesim::mem
+
+#endif // MEM_CACHE_ARRAY_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * MOSI coherence states and transition helpers.
+ *
+ * The E6000's Gigaplane bus implements an ownership-based snooping
+ * protocol; a processor holding a line in Modified or Owned state
+ * supplies it to a requester with a "snoop copyback" — the
+ * cache-to-cache transfer the paper measures via cpustat. We model a
+ * MOSI protocol at the L2 level (L1s are write-through and subordinate
+ * to their L2).
+ */
+
+#ifndef MEM_COHERENCE_HH
+#define MEM_COHERENCE_HH
+
+#include <cstdint>
+
+namespace middlesim::mem
+{
+
+/** MOSI stable states, encoded to fit cache line metadata. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid = 0,
+    Shared = 1,
+    Owned = 2,
+    Modified = 3,
+};
+
+/** Bus request kinds issued on an L2 miss or upgrade. */
+enum class BusRequest : std::uint8_t
+{
+    /** Read for sharing (load or ifetch miss). */
+    GetS,
+    /** Read for ownership (store/atomic miss). */
+    GetM,
+    /** Ownership upgrade: requester already holds Shared data. */
+    Upgrade,
+};
+
+/** True if the state grants read permission. */
+constexpr bool
+canRead(CoherenceState s)
+{
+    return s != CoherenceState::Invalid;
+}
+
+/** True if the state grants write permission. */
+constexpr bool
+canWrite(CoherenceState s)
+{
+    return s == CoherenceState::Modified;
+}
+
+/** True if this cache must respond with data to a snoop (M or O). */
+constexpr bool
+isOwner(CoherenceState s)
+{
+    return s == CoherenceState::Modified || s == CoherenceState::Owned;
+}
+
+/** True if eviction of a line in this state requires a writeback. */
+constexpr bool
+needsWriteback(CoherenceState s)
+{
+    return isOwner(s);
+}
+
+/**
+ * State of a snooping peer after observing a remote GetS.
+ * Owners degrade to Owned (they keep supplying data); sharers remain.
+ */
+constexpr CoherenceState
+peerAfterGetS(CoherenceState s)
+{
+    return s == CoherenceState::Modified ? CoherenceState::Owned : s;
+}
+
+/**
+ * State of a snooping peer after observing a remote GetM or Upgrade:
+ * everyone else invalidates.
+ */
+constexpr CoherenceState
+peerAfterGetM(CoherenceState)
+{
+    return CoherenceState::Invalid;
+}
+
+/** Human-readable state name. */
+constexpr const char *
+toString(CoherenceState s)
+{
+    switch (s) {
+      case CoherenceState::Invalid: return "I";
+      case CoherenceState::Shared: return "S";
+      case CoherenceState::Owned: return "O";
+      case CoherenceState::Modified: return "M";
+    }
+    return "?";
+}
+
+} // namespace middlesim::mem
+
+#endif // MEM_COHERENCE_HH

@@ -1,0 +1,385 @@
+#include "mem/hierarchy.hh"
+
+#include "sim/log.hh"
+
+namespace middlesim::mem
+{
+
+Hierarchy::Hierarchy(const sim::MachineConfig &config,
+                     const LatencyModel &latency, bool bus_contention)
+    : cfg_(config), lat_(latency), bus_(bus_contention)
+{
+    cfg_.validate();
+    if (cfg_.numL2s() > 32)
+        fatal("hierarchy: at most 32 L2 groups supported");
+
+    l1i_.reserve(cfg_.totalCpus);
+    l1d_.reserve(cfg_.totalCpus);
+    stats_.resize(cfg_.totalCpus);
+    for (unsigned c = 0; c < cfg_.totalCpus; ++c) {
+        l1i_.emplace_back(cfg_.l1i);
+        l1d_.emplace_back(cfg_.l1d);
+    }
+    l2_.reserve(cfg_.numL2s());
+    for (unsigned g = 0; g < cfg_.numL2s(); ++g)
+        l2_.emplace_back(cfg_.l2);
+
+    meta_.reserve(1u << 20);
+}
+
+AccessResult
+Hierarchy::access(const MemRef &ref, sim::Tick now)
+{
+    if (sweepTap_)
+        sweepTap_->access(ref);
+    CacheStats &st = stats_[ref.cpu];
+
+    switch (ref.type) {
+      case AccessType::IFetch: {
+        ++st.ifetches;
+        CacheArray &l1 = l1i_[ref.cpu];
+        if (CacheLine *line = l1.find(ref.addr)) {
+            l1.touch(*line);
+            ++st.l1iHits;
+            return {lat_.l1Hit, ServedBy::L1, MissClass::None};
+        }
+        AccessResult res = l2Access(ref, now, true, false);
+        CacheLine &frame = l1.victim(ref.addr);
+        l1.install(frame, ref.addr, CoherenceState::Shared);
+        return res;
+      }
+      case AccessType::Load: {
+        ++st.loads;
+        CacheArray &l1 = l1d_[ref.cpu];
+        if (CacheLine *line = l1.find(ref.addr)) {
+            l1.touch(*line);
+            ++st.l1dHits;
+            return {lat_.l1Hit, ServedBy::L1, MissClass::None};
+        }
+        AccessResult res = l2Access(ref, now, false, false);
+        CacheLine &frame = l1.victim(ref.addr);
+        l1.install(frame, ref.addr, CoherenceState::Shared);
+        return res;
+      }
+      case AccessType::Store: {
+        ++st.stores;
+        // Write-through, no-write-allocate: the L1D copy (if any) is
+        // updated in place; the store always proceeds to the L2.
+        CacheArray &l1 = l1d_[ref.cpu];
+        if (CacheLine *line = l1.find(ref.addr)) {
+            l1.touch(*line);
+            ++st.l1dHits;
+        }
+        return l2Access(ref, now, false, true);
+      }
+      case AccessType::Atomic: {
+        ++st.atomics;
+        // Atomics bypass the L1 and perform the RMW at the L2.
+        return l2Access(ref, now, false, true);
+      }
+      case AccessType::BlockStore: {
+        ++st.stores;
+        ++st.blockStores;
+        CacheArray &l1 = l1d_[ref.cpu];
+        if (CacheLine *line = l1.find(ref.addr))
+            l1.touch(*line);
+        return l2BlockStore(ref, now);
+      }
+    }
+    panic("unreachable access type");
+}
+
+AccessResult
+Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
+                    bool want_write)
+{
+    CacheStats &st = stats_[ref.cpu];
+    const unsigned group = groupOf(ref.cpu);
+    CacheArray &l2 = l2_[group];
+    const Addr block = l2.blockAddr(ref.addr);
+
+    ++st.l2Accesses;
+    if (trackComm_)
+        touched_.insert(block);
+
+    if (CacheLine *line = l2.find(ref.addr)) {
+        if (!want_write || canWrite(line->state)) {
+            l2.touch(*line);
+            ++st.l2Hits;
+            return {lat_.l2Hit, ServedBy::L2, MissClass::None};
+        }
+        // Ownership upgrade: we hold S or O data; invalidate peers.
+        for (unsigned g = 0; g < l2_.size(); ++g) {
+            if (g == group)
+                continue;
+            if (CacheLine *peer = l2_[g].find(ref.addr))
+                invalidateForRemoteWrite(g, *peer);
+        }
+        const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
+        line->state = CoherenceState::Modified;
+        l2.touch(*line);
+        ++st.upgrades;
+        return {lat_.upgrade + queue, ServedBy::UpgradeOnly,
+                MissClass::None};
+    }
+
+    // L2 miss: snoop peers for an owner; handle peer state changes.
+    const MissClass mclass = classifyMiss(block, group);
+    bool peer_supplied = false;
+    for (unsigned g = 0; g < l2_.size(); ++g) {
+        if (g == group)
+            continue;
+        CacheLine *peer = l2_[g].find(ref.addr);
+        if (!peer)
+            continue;
+        if (isOwner(peer->state))
+            peer_supplied = true;
+        if (want_write) {
+            invalidateForRemoteWrite(g, *peer);
+        } else {
+            peer->state = peerAfterGetS(peer->state);
+        }
+    }
+
+    const sim::Tick occupancy = lat_.busOccupancy;
+    const sim::Tick queue = bus_.acquire(now, occupancy);
+    sim::Tick latency;
+    ServedBy served;
+    if (peer_supplied) {
+        latency = lat_.cacheToCache + queue;
+        served = ServedBy::Peer;
+        ++st.c2cTransfers;
+        if (trackComm_)
+            c2cPerLine_.add(block);
+        if (timeline_)
+            timeline_->add(now);
+    } else {
+        latency = lat_.memory + queue;
+        served = ServedBy::Memory;
+    }
+
+    switch (mclass) {
+      case MissClass::Cold: ++st.missCold; break;
+      case MissClass::Coherence: ++st.missCoherence; break;
+      case MissClass::CapacityConflict: ++st.missCapacity; break;
+      case MissClass::None: panic("miss without class"); break;
+    }
+    for (Region &region : regions_) {
+        if (ref.addr >= region.base &&
+            ref.addr < region.base + region.bytes) {
+            switch (mclass) {
+              case MissClass::Cold: ++region.missCold; break;
+              case MissClass::Coherence:
+                ++region.missCoherence;
+                break;
+              case MissClass::CapacityConflict:
+                ++region.missCapacity;
+                break;
+              case MissClass::None: break;
+            }
+            break;
+        }
+    }
+    if (is_instr)
+        ++st.instrMisses;
+    else
+        ++st.dataMisses;
+
+    CacheLine &victim = l2.victim(ref.addr);
+    if (victim.valid())
+        evictLine(group, victim, ref.cpu, now);
+    l2.install(victim, ref.addr,
+               want_write ? CoherenceState::Modified
+                          : CoherenceState::Shared);
+
+    return {latency, served, mclass};
+}
+
+AccessResult
+Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
+{
+    CacheStats &st = stats_[ref.cpu];
+    const unsigned group = groupOf(ref.cpu);
+    CacheArray &l2 = l2_[group];
+    const Addr block = l2.blockAddr(ref.addr);
+
+    ++st.l2Accesses;
+    if (trackComm_)
+        touched_.insert(block);
+
+    if (CacheLine *line = l2.find(ref.addr)) {
+        if (canWrite(line->state)) {
+            // Streaming store: do not promote the line.
+            ++st.l2Hits;
+            return {lat_.l2Hit, ServedBy::L2, MissClass::None};
+        }
+        // Shared or owned: invalidate peers, upgrade in place. The
+        // whole line is overwritten, so no data moves.
+        for (unsigned g = 0; g < l2_.size(); ++g) {
+            if (g == group)
+                continue;
+            if (CacheLine *peer = l2_[g].find(ref.addr))
+                invalidateForRemoteWrite(g, *peer);
+        }
+        const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
+        line->state = CoherenceState::Modified;
+        l2.touch(*line);
+        return {lat_.l2Hit + queue, ServedBy::L2, MissClass::None};
+    }
+
+    // Not present: claim the line without fetching. A peer's dirty
+    // copy is dropped (it is wholly overwritten), not copied back.
+    for (unsigned g = 0; g < l2_.size(); ++g) {
+        if (g == group)
+            continue;
+        if (CacheLine *peer = l2_[g].find(ref.addr))
+            invalidateForRemoteWrite(g, *peer);
+    }
+    const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
+    meta_[block].everCachedMask |= 1u << group;
+    meta_[block].invalidatedMask &= ~(1u << group);
+
+    CacheLine &victim = l2.victim(ref.addr);
+    if (victim.valid())
+        evictLine(group, victim, ref.cpu, now);
+    l2.installStreaming(victim, ref.addr, CoherenceState::Modified);
+    return {lat_.l2Hit + queue, ServedBy::L2, MissClass::None};
+}
+
+MissClass
+Hierarchy::classifyMiss(Addr block, unsigned group)
+{
+    LineMeta &meta = meta_[block];
+    const std::uint32_t bit = 1u << group;
+    MissClass mclass;
+    if (!(meta.everCachedMask & bit)) {
+        mclass = MissClass::Cold;
+    } else if (meta.invalidatedMask & bit) {
+        mclass = MissClass::Coherence;
+    } else {
+        mclass = MissClass::CapacityConflict;
+    }
+    meta.everCachedMask |= bit;
+    meta.invalidatedMask &= ~bit;
+    return mclass;
+}
+
+void
+Hierarchy::evictLine(unsigned group, CacheLine &victim, unsigned req_cpu,
+                     sim::Tick now)
+{
+    if (needsWriteback(victim.state)) {
+        ++stats_[req_cpu].writebacks;
+        bus_.acquire(now, lat_.busOccupancy);
+    }
+    // Record replacement (not invalidation) as the removal cause.
+    auto it = meta_.find(victim.tag);
+    if (it != meta_.end())
+        it->second.invalidatedMask &= ~(1u << group);
+    backInvalidateL1s(group, victim.tag);
+    victim.state = CoherenceState::Invalid;
+}
+
+void
+Hierarchy::invalidateForRemoteWrite(unsigned group, CacheLine &line)
+{
+    meta_[line.tag].invalidatedMask |= 1u << group;
+    backInvalidateL1s(group, line.tag);
+    line.state = CoherenceState::Invalid;
+}
+
+void
+Hierarchy::backInvalidateL1s(unsigned group, Addr block)
+{
+    const unsigned first = group * cfg_.cpusPerL2;
+    const unsigned last = first + cfg_.cpusPerL2;
+    for (unsigned c = first; c < last && c < cfg_.totalCpus; ++c) {
+        if (CacheLine *line = l1i_[c].find(block))
+            line->state = CoherenceState::Invalid;
+        if (CacheLine *line = l1d_[c].find(block))
+            line->state = CoherenceState::Invalid;
+    }
+}
+
+CacheStats
+Hierarchy::aggregateRange(unsigned lo, unsigned hi) const
+{
+    sim_assert(lo <= hi && hi < cfg_.totalCpus, "bad CPU range");
+    CacheStats out;
+    for (unsigned c = lo; c <= hi; ++c)
+        out.accumulate(stats_[c]);
+    return out;
+}
+
+CacheStats
+Hierarchy::aggregateAll() const
+{
+    return aggregateRange(0, cfg_.totalCpus - 1);
+}
+
+void
+Hierarchy::resetStats()
+{
+    for (auto &st : stats_)
+        st = CacheStats();
+    bus_.reset();
+}
+
+void
+Hierarchy::setCommunicationTracking(bool on)
+{
+    trackComm_ = on;
+    if (!on)
+        resetCommunicationTracking();
+}
+
+void
+Hierarchy::resetCommunicationTracking()
+{
+    c2cPerLine_.reset();
+    touched_.clear();
+}
+
+void
+Hierarchy::enableTimeline(sim::Tick bin_width, unsigned num_bins)
+{
+    timeline_ = std::make_unique<TimelineSampler>(bin_width, num_bins);
+}
+
+CoherenceState
+Hierarchy::peekState(unsigned cpu, Addr addr) const
+{
+    const CacheLine *line = l2_[groupOf(cpu)].find(addr);
+    return line ? line->state : CoherenceState::Invalid;
+}
+
+void
+Hierarchy::defineRegion(const std::string &name, Addr base,
+                        std::uint64_t bytes)
+{
+    regions_.push_back({name, base, bytes, 0, 0, 0});
+}
+
+void
+Hierarchy::resetRegionStats()
+{
+    for (Region &region : regions_) {
+        region.missCold = 0;
+        region.missCoherence = 0;
+        region.missCapacity = 0;
+    }
+}
+
+void
+Hierarchy::invalidateAll()
+{
+    for (auto &c : l1i_)
+        c.invalidateAll();
+    for (auto &c : l1d_)
+        c.invalidateAll();
+    for (auto &c : l2_)
+        c.invalidateAll();
+    meta_.clear();
+}
+
+} // namespace middlesim::mem

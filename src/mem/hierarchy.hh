@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The coherent multiprocessor memory hierarchy.
+ *
+ * Structure (matching the E6000 platform of the paper, generalized to
+ * the CMP shared-cache configurations of Figure 16):
+ *
+ *   CPU i --> private split L1I / L1D (write-through, no-write-allocate)
+ *         --> L2 shared by `cpusPerL2` CPUs (MOSI coherent)
+ *         --> snooping bus --> memory
+ *
+ * A miss snoops all peer L2s; if a peer holds the block in Modified or
+ * Owned state it supplies the data (a snoop copyback, i.e. the paper's
+ * cache-to-cache transfer) at 1.4x memory latency.
+ *
+ * Misses are classified per requesting cache as cold / coherence /
+ * capacity-conflict using per-block removal-cause metadata. Optional
+ * communication tracking records per-line copyback counts and the set
+ * of touched lines (Figures 14/15), and an optional timeline bins
+ * copybacks by time (Figure 10).
+ */
+
+#ifndef MEM_HIERARCHY_HH
+#define MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/cache_array.hh"
+#include "mem/latency.hh"
+#include "mem/memref.hh"
+#include "mem/stats.hh"
+#include "mem/sweep.hh"
+#include "sim/config.hh"
+#include "stats/distribution.hh"
+
+namespace middlesim::mem
+{
+
+/** Bins events (here: copybacks) into fixed-width time buckets. */
+class TimelineSampler
+{
+  public:
+    TimelineSampler(sim::Tick bin_width, unsigned num_bins)
+        : binWidth_(bin_width), bins_(num_bins, 0)
+    {
+    }
+
+    void
+    add(sim::Tick t)
+    {
+        const auto bin = static_cast<std::size_t>(t / binWidth_);
+        if (bin < bins_.size())
+            ++bins_[bin];
+    }
+
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+    sim::Tick binWidth() const { return binWidth_; }
+
+  private:
+    sim::Tick binWidth_;
+    std::vector<std::uint64_t> bins_;
+};
+
+/** The full coherent memory system of one simulated machine. */
+class Hierarchy
+{
+  public:
+    Hierarchy(const sim::MachineConfig &config,
+              const LatencyModel &latency,
+              bool bus_contention = true);
+
+    /** Perform one access; returns latency and classification. */
+    AccessResult access(const MemRef &ref, sim::Tick now);
+
+    /** L2 group serving a CPU. */
+    unsigned groupOf(unsigned cpu) const { return cpu / cfg_.cpusPerL2; }
+
+    /** Per-requesting-CPU statistics. */
+    const CacheStats &cpuStats(unsigned cpu) const { return stats_[cpu]; }
+
+    /** Aggregate statistics over CPUs [lo, hi] inclusive. */
+    CacheStats aggregateRange(unsigned lo, unsigned hi) const;
+
+    /** Aggregate statistics over all CPUs. */
+    CacheStats aggregateAll() const;
+
+    /** Zero all per-CPU statistics (cache contents are preserved). */
+    void resetStats();
+
+    /** Enable per-line copyback and touched-line tracking. */
+    void setCommunicationTracking(bool on);
+
+    /** Per-line copyback counts (valid when tracking is on). */
+    const stats::KeyCounts &c2cPerLine() const { return c2cPerLine_; }
+
+    /** Distinct lines referenced at L2 level since tracking reset. */
+    std::uint64_t touchedLines() const { return touched_.size(); }
+
+    /** Clear communication-tracking state (counts + touched set). */
+    void resetCommunicationTracking();
+
+    /** Install a copyback timeline (Figure 10). */
+    void enableTimeline(sim::Tick bin_width, unsigned num_bins);
+    const TimelineSampler *timeline() const { return timeline_.get(); }
+
+    /**
+     * Mirror every reference into a SweepSimulator (Figures 12/13).
+     * The sweep sees the raw reference stream before this hierarchy
+     * filters it; pass nullptr to detach.
+     */
+    void setSweepTap(SweepSimulator *sweep) { sweepTap_ = sweep; }
+
+    /** Coherence state of a block in the L2 serving `cpu`. */
+    CoherenceState peekState(unsigned cpu, Addr addr) const;
+
+    /** Invalidate all caches (dirty data is dropped; test/phase use). */
+    void invalidateAll();
+
+    /** A named address range for miss attribution. */
+    struct Region
+    {
+        std::string name;
+        Addr base = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t missCold = 0;
+        std::uint64_t missCoherence = 0;
+        std::uint64_t missCapacity = 0;
+
+        std::uint64_t
+        total() const
+        {
+            return missCold + missCoherence + missCapacity;
+        }
+    };
+
+    /** Register a region; misses inside it are attributed to it. */
+    void defineRegion(const std::string &name, Addr base,
+                      std::uint64_t bytes);
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /** Zero per-region miss counters. */
+    void resetRegionStats();
+
+    const Bus &bus() const { return bus_; }
+    Bus &bus() { return bus_; }
+    const sim::MachineConfig &config() const { return cfg_; }
+    const LatencyModel &latency() const { return lat_; }
+
+  private:
+    /** Per-block removal-cause metadata, one bit per L2 group. */
+    struct LineMeta
+    {
+        std::uint32_t everCachedMask = 0;
+        std::uint32_t invalidatedMask = 0;
+    };
+
+    AccessResult l2Access(const MemRef &ref, sim::Tick now,
+                          bool is_instr, bool want_write);
+
+    /** Classify an L2 miss for group g and update metadata. */
+    MissClass classifyMiss(Addr block, unsigned group);
+
+    /** Block-initializing store: install M without a data fetch. */
+    AccessResult l2BlockStore(const MemRef &ref, sim::Tick now);
+
+    /** Remove a victim line from group g (writeback + back-inval). */
+    void evictLine(unsigned group, CacheLine &victim, unsigned req_cpu,
+                   sim::Tick now);
+
+    /** Invalidate a block in group g due to a remote write. */
+    void invalidateForRemoteWrite(unsigned group, CacheLine &line);
+
+    /** Remove the block from the L1s of every CPU in group g. */
+    void backInvalidateL1s(unsigned group, Addr block);
+
+    sim::MachineConfig cfg_;
+    LatencyModel lat_;
+    Bus bus_;
+
+    std::vector<CacheArray> l1i_; // per CPU
+    std::vector<CacheArray> l1d_; // per CPU
+    std::vector<CacheArray> l2_;  // per group
+    std::vector<CacheStats> stats_; // per CPU
+
+    std::unordered_map<Addr, LineMeta> meta_;
+    std::vector<Region> regions_;
+
+    bool trackComm_ = false;
+    stats::KeyCounts c2cPerLine_;
+    std::unordered_set<Addr> touched_;
+
+    std::unique_ptr<TimelineSampler> timeline_;
+    SweepSimulator *sweepTap_ = nullptr;
+};
+
+} // namespace middlesim::mem
+
+#endif // MEM_HIERARCHY_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory reference types — the currency of the simulator.
+ *
+ * Workload models generate MemRef streams; the cache hierarchy
+ * consumes them and returns latency plus an event classification that
+ * the CPU timing model turns into the paper's stall taxonomy.
+ */
+
+#ifndef MEM_MEMREF_HH
+#define MEM_MEMREF_HH
+
+#include <cstdint>
+
+namespace middlesim::mem
+{
+
+/** Physical address (the simulator does not model translation). */
+using Addr = std::uint64_t;
+
+/** Kind of access. Atomic models lock-word read-modify-writes. */
+enum class AccessType : std::uint8_t
+{
+    IFetch,
+    Load,
+    Store,
+    Atomic,
+    /**
+     * Block-initializing store (SPARC VIS BIS, as used by HotSpot for
+     * TLAB zeroing and object initialization): writes a full line
+     * without fetching it. Installs the line in Modified state and
+     * invalidates peers, but is not a data-fetching miss.
+     */
+    BlockStore,
+};
+
+/** True for access types that require write permission (M state). */
+constexpr bool
+isWrite(AccessType t)
+{
+    return t == AccessType::Store || t == AccessType::Atomic ||
+           t == AccessType::BlockStore;
+}
+
+/** One memory reference issued by a CPU. */
+struct MemRef
+{
+    Addr addr = 0;
+    AccessType type = AccessType::Load;
+    /** Issuing processor id. */
+    unsigned cpu = 0;
+};
+
+} // namespace middlesim::mem
+
+#endif // MEM_MEMREF_HH

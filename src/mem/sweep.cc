@@ -1,0 +1,102 @@
+#include "mem/sweep.hh"
+
+namespace middlesim::mem
+{
+
+SweepSimulator::SweepSimulator(const std::vector<sim::CacheParams> &configs)
+{
+    icaches_.reserve(configs.size());
+    dcaches_.reserve(configs.size());
+    for (const auto &params : configs) {
+        icaches_.emplace_back(params);
+        dcaches_.emplace_back(params);
+        ires_.push_back({params, 0, 0});
+        dres_.push_back({params, 0, 0});
+    }
+}
+
+std::vector<sim::CacheParams>
+SweepSimulator::paperSweep()
+{
+    std::vector<sim::CacheParams> configs;
+    for (std::uint64_t kb = 64; kb <= 16 * 1024; kb *= 2)
+        configs.push_back({kb * 1024, 4, 64});
+    return configs;
+}
+
+void
+SweepSimulator::accessBank(std::vector<CacheArray> &bank,
+                           std::vector<SweepResult> &results, Addr addr)
+{
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        CacheArray &cache = bank[i];
+        ++results[i].accesses;
+        if (CacheLine *line = cache.find(addr)) {
+            cache.touch(*line);
+        } else {
+            ++results[i].misses;
+            CacheLine &frame = cache.victim(addr);
+            cache.install(frame, addr, CoherenceState::Shared);
+        }
+    }
+}
+
+void
+SweepSimulator::access(const MemRef &ref)
+{
+    if (ref.type == AccessType::IFetch) {
+        accessBank(icaches_, ires_, ref.addr);
+    } else if (ref.type == AccessType::BlockStore) {
+        // Installs without a fetch: counted as an access, never a miss.
+        for (std::size_t i = 0; i < dcaches_.size(); ++i) {
+            CacheArray &cache = dcaches_[i];
+            ++dres_[i].accesses;
+            if (CacheLine *line = cache.find(ref.addr)) {
+                cache.touch(*line);
+            } else {
+                CacheLine &frame = cache.victim(ref.addr);
+                cache.install(frame, ref.addr, CoherenceState::Shared);
+            }
+        }
+    } else {
+        accessBank(dcaches_, dres_, ref.addr);
+    }
+}
+
+double
+SweepSimulator::imissPer1000(std::size_t i) const
+{
+    return ires_.at(i).missesPer1000(instructions_);
+}
+
+double
+SweepSimulator::dmissPer1000(std::size_t i) const
+{
+    return dres_.at(i).missesPer1000(instructions_);
+}
+
+void
+SweepSimulator::resetCounters()
+{
+    for (auto &r : ires_)
+        r = {r.params, 0, 0};
+    for (auto &r : dres_)
+        r = {r.params, 0, 0};
+    instructions_ = 0;
+}
+
+void
+SweepSimulator::reset()
+{
+    for (auto &c : icaches_)
+        c.invalidateAll();
+    for (auto &c : dcaches_)
+        c.invalidateAll();
+    for (auto &r : ires_)
+        r = {r.params, 0, 0};
+    for (auto &r : dres_)
+        r = {r.params, 0, 0};
+    instructions_ = 0;
+}
+
+} // namespace middlesim::mem

@@ -1,0 +1,172 @@
+#include "os/kernel.hh"
+
+#include <algorithm>
+
+namespace middlesim::os
+{
+
+namespace
+{
+
+/** Pick a 64-byte-aligned code-walk start within a region. */
+mem::Addr
+walkStart(sim::Rng &rng, mem::Addr base, std::uint64_t region_bytes,
+          std::uint64_t walk_bytes)
+{
+    if (walk_bytes >= region_bytes)
+        return base;
+    const std::uint64_t span = region_bytes - walk_bytes;
+    return base + (rng.uniform(span / 64)) * 64;
+}
+
+/** Periodic kernel housekeeping (clock ticks, daemons) on one CPU. */
+class Housekeeper : public exec::ThreadProgram
+{
+  public:
+    Housekeeper(const KernelParams &params, unsigned cpu, sim::Rng rng)
+        : params_(params), cpu_(cpu), rng_(rng)
+    {
+    }
+
+    exec::NextOp
+    next(exec::Burst &burst, sim::Tick) override
+    {
+        if (!ranBurst_) {
+            ranBurst_ = true;
+            fill(burst);
+            return {exec::OpKind::Burst, exec::ExecMode::System,
+                    nullptr, nullptr, 0, 0};
+        }
+        ranBurst_ = false;
+        exec::NextOp op;
+        op.kind = exec::OpKind::Wait;
+        // Jitter the period so housekeepers do not phase-align.
+        op.wait = params_.housekeepPeriod +
+                  rng_.uniform(params_.housekeepPeriod / 4);
+        return op;
+    }
+
+  private:
+    void
+    fill(exec::Burst &burst)
+    {
+        burst.mode = exec::ExecMode::System;
+        burst.instructions = params_.housekeepInstr;
+        const std::uint64_t walk =
+            std::min<std::uint64_t>(params_.housekeepInstr * 4, 2048);
+        burst.code.base =
+            walkStart(rng_, KernelModel::daemonTextBase(), 64 * 1024,
+                      walk);
+        burst.code.bytes = walk;
+
+        // Global clock word: read by every CPU, written by CPU 0.
+        if (cpu_ == 0)
+            burst.store(KernelModel::clockLine());
+        else
+            burst.load(KernelModel::clockLine());
+
+        // Dispatcher state: each CPU reads several run-queue lines
+        // (its own and a few peers', for load balancing) and writes
+        // its own.
+        burst.load(KernelModel::runQueueLine(cpu_));
+        burst.store(KernelModel::runQueueLine(cpu_));
+        const unsigned peer = static_cast<unsigned>(rng_.uniform(16));
+        burst.load(KernelModel::runQueueLine(peer));
+
+        // Callout wheel / daemon wakeups: shared lines.
+        for (int i = 0; i < 2; ++i) {
+            burst.load(KernelModel::clockLine() + 64 +
+                       rng_.uniform(8) * 64);
+        }
+        // Per-CPU private statistics.
+        for (int i = 0; i < 4; ++i)
+            burst.store(KernelModel::cpuPrivateLine(cpu_, i));
+    }
+
+    KernelParams params_;
+    unsigned cpu_;
+    sim::Rng rng_;
+    bool ranBurst_ = false;
+};
+
+} // namespace
+
+KernelModel::KernelModel(const KernelParams &params)
+    : params_(params), netLock_("netstack", dataBase, /*spin=*/true)
+{
+}
+
+unsigned
+KernelModel::makeConnection()
+{
+    return numConnections_++;
+}
+
+void
+KernelModel::fillNetBurst(exec::Burst &burst, sim::Rng &rng,
+                          unsigned conn, unsigned bytes, bool send)
+{
+    burst.mode = exec::ExecMode::System;
+    burst.instructions =
+        (send ? params_.netSendInstr : params_.netRecvInstr) +
+        bytes / 8; // copy cost
+    const std::uint64_t walk =
+        std::min<std::uint64_t>(burst.instructions * 4, 2048);
+    burst.code.base = walkStart(rng, netText, netTextBytes, walk);
+    burst.code.bytes = walk;
+
+    // Socket buffer copy: per-connection region, block granularity.
+    // Only the head of the buffer is touched per message (payloads
+    // are copied through a small reused window).
+    const mem::Addr sockBuf =
+        socketBufs + static_cast<mem::Addr>(conn) * socketBufBytes;
+    const unsigned blocks = std::min(std::max(1u, bytes / 64), 8u);
+    for (unsigned b = 0; b < blocks; ++b) {
+        if (send) {
+            burst.load(sockBuf + b * 64);
+        } else {
+            // Full-line payload copy into the socket buffer.
+            burst.blockStore(sockBuf + b * 64);
+        }
+    }
+
+    // mbuf allocation: shared pool freelist head plus a few buffers.
+    burst.atomic(mbufPool);
+    for (int i = 0; i < 6; ++i) {
+        const mem::Addr line = mbufPool + 64 +
+            rng.uniform(mbufPoolBytes / 64 - 1) * 64;
+        if (send)
+            burst.store(line);
+        else
+            burst.load(line);
+    }
+
+    // Device descriptor ring: a handful of hot shared lines.
+    burst.store(devRing + rng.uniform(8) * 64);
+
+    // Protocol statistics: shared counters.
+    burst.store(netStats + rng.uniform(4) * 64);
+}
+
+void
+KernelModel::fillSwitchBurst(exec::Burst &burst, sim::Rng &rng,
+                             unsigned cpu)
+{
+    burst.mode = exec::ExecMode::System;
+    burst.instructions = params_.switchInstr;
+    const std::uint64_t walk =
+        std::min<std::uint64_t>(burst.instructions * 4, 2048);
+    burst.code.base = walkStart(rng, schedText, schedTextBytes, walk);
+    burst.code.bytes = walk;
+    burst.load(runQueueLine(cpu));
+    burst.store(runQueueLine(cpu));
+    burst.store(cpuPrivateLine(cpu, 0));
+}
+
+std::unique_ptr<exec::ThreadProgram>
+KernelModel::makeHousekeeper(unsigned cpu, sim::Rng rng)
+{
+    return std::make_unique<Housekeeper>(params_, cpu, rng);
+}
+
+} // namespace middlesim::os

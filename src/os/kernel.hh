@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Solaris-like kernel model: network path, scheduler path, and
+ * background housekeeping activity.
+ *
+ * Two behaviors from the paper depend on this model:
+ *
+ *  - ECperf communicates between tiers through operating-system
+ *    networking code; its system time grows from under 5% on one
+ *    processor to nearly 30% at 15, which the authors attribute to
+ *    contention in the networking code. We model a TCP/IP-like path
+ *    with a global netstack lock and shared mbuf/device structures.
+ *
+ *  - Cache-to-cache transfers occur even when the application runs on
+ *    a single processor because the OS keeps running on all 16
+ *    (Section 4.3). Housekeeper threads bound to every CPU touch
+ *    shared kernel lines periodically and reproduce this baseline.
+ */
+
+#ifndef OS_KERNEL_HH
+#define OS_KERNEL_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/program.hh"
+#include "mem/memref.hh"
+#include "sim/rng.hh"
+#include "sim/ticks.hh"
+
+namespace middlesim::os
+{
+
+/** Parameters of the kernel model. */
+struct KernelParams
+{
+    /** Instructions on the send side of one network message. */
+    std::uint64_t netSendInstr = 700;
+    /** Instructions on the receive side of one network message. */
+    std::uint64_t netRecvInstr = 900;
+    /** Instructions in one context switch. */
+    std::uint64_t switchInstr = 600;
+    /** Instructions per housekeeping activation. */
+    std::uint64_t housekeepInstr = 1500;
+    /** Housekeeping period (default ~1 ms at 248 MHz). */
+    sim::Tick housekeepPeriod = 250000;
+};
+
+/** Address layout and burst builders for kernel activity. */
+class KernelModel
+{
+  public:
+    explicit KernelModel(const KernelParams &params = KernelParams());
+
+    /** The global netstack lock (single-threaded network stack). */
+    exec::Lock &netstackLock() { return netLock_; }
+
+    /** Register a connection; returns its id (socket buffer region). */
+    unsigned makeConnection();
+
+    /**
+     * Fill a network send/receive burst for connection `conn` moving
+     * `bytes` payload bytes. Mode is System. Does not include the
+     * netstack lock acquisition: callers bracket the burst with
+     * LockAcquire/LockRelease ops on netstackLock().
+     */
+    void fillNetBurst(exec::Burst &burst, sim::Rng &rng, unsigned conn,
+                      unsigned bytes, bool send);
+
+    /** Fill the kernel part of a context switch. Mode is System. */
+    void fillSwitchBurst(exec::Burst &burst, sim::Rng &rng, unsigned cpu);
+
+    /**
+     * Create a housekeeper thread program for `cpu`: periodic system
+     * bursts (clock interrupt, daemons) touching shared kernel lines.
+     */
+    std::unique_ptr<exec::ThreadProgram>
+    makeHousekeeper(unsigned cpu, sim::Rng rng);
+
+    const KernelParams &params() const { return params_; }
+
+    /** Kernel text segment base. */
+    static constexpr mem::Addr textBase = 0xF0'0000'0000ULL;
+    /** Kernel data segment base. */
+    static constexpr mem::Addr dataBase = 0xF1'0000'0000ULL;
+
+    // Data-region layout (offsets from dataBase).
+    static constexpr std::uint64_t mbufPoolBytes = 128 * 1024;
+    static constexpr std::uint64_t socketBufBytes = 8 * 1024;
+    static constexpr mem::Addr mbufPool = dataBase + 0x10000;
+    static constexpr mem::Addr devRing = dataBase + 0x40000;
+    static constexpr mem::Addr netStats = dataBase + 0x41000;
+    static constexpr mem::Addr runQueues = dataBase + 0x50000;
+    static constexpr mem::Addr clockData = dataBase + 0x60000;
+    static constexpr mem::Addr perCpuData = dataBase + 0x70000;
+    static constexpr mem::Addr socketBufs = dataBase + 0x100000;
+
+    // Text-region layout.
+    static constexpr std::uint64_t netTextBytes = 256 * 1024;
+    static constexpr std::uint64_t schedTextBytes = 48 * 1024;
+    static constexpr std::uint64_t daemonTextBytes = 64 * 1024;
+    static constexpr mem::Addr netText = textBase;
+    static constexpr mem::Addr schedText = textBase + 0x100000;
+    static constexpr mem::Addr daemonText = textBase + 0x200000;
+
+    /** Shared global clock word (written by CPU 0, read by all). */
+    static constexpr mem::Addr clockLine() { return clockData; }
+
+    /** Dispatcher run-queue line of one CPU (read by peers too). */
+    static constexpr mem::Addr
+    runQueueLine(unsigned cpu)
+    {
+        return runQueues + static_cast<mem::Addr>(cpu) * 64;
+    }
+
+    /** Per-CPU private kernel line (never shared). */
+    static constexpr mem::Addr
+    cpuPrivateLine(unsigned cpu, unsigned i)
+    {
+        return perCpuData + static_cast<mem::Addr>(cpu) * 1024 +
+               static_cast<mem::Addr>(i) * 64;
+    }
+
+    static constexpr mem::Addr daemonTextBase() { return daemonText; }
+
+  private:
+    KernelParams params_;
+    exec::Lock netLock_;
+    unsigned numConnections_ = 0;
+};
+
+} // namespace middlesim::os
+
+#endif // OS_KERNEL_HH

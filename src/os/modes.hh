@@ -1,0 +1,57 @@
+/**
+ * @file
+ * mpstat-style execution mode accounting (Figure 5).
+ *
+ * The paper breaks execution time into user, system, I/O wait and
+ * idle, and separately estimates the idle time attributable to the
+ * single-threaded garbage collector. We track the same buckets per
+ * CPU.
+ */
+
+#ifndef OS_MODES_HH
+#define OS_MODES_HH
+
+#include "sim/ticks.hh"
+
+namespace middlesim::os
+{
+
+/** Per-CPU cycle totals by execution mode. */
+struct ModeBreakdown
+{
+    sim::Tick user = 0;
+    sim::Tick system = 0;
+    sim::Tick io = 0;
+    /** Idle not attributable to garbage collection. */
+    sim::Tick idle = 0;
+    /** Idle while a stop-the-world collection was in progress. */
+    sim::Tick gcIdle = 0;
+
+    sim::Tick
+    total() const
+    {
+        return user + system + io + idle + gcIdle;
+    }
+
+    double
+    fraction(sim::Tick bucket) const
+    {
+        const sim::Tick t = total();
+        return t ? static_cast<double>(bucket) / static_cast<double>(t)
+                 : 0.0;
+    }
+
+    void
+    accumulate(const ModeBreakdown &o)
+    {
+        user += o.user;
+        system += o.system;
+        io += o.io;
+        idle += o.idle;
+        gcIdle += o.gcIdle;
+    }
+};
+
+} // namespace middlesim::os
+
+#endif // OS_MODES_HH

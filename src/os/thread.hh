@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Model thread state.
+ */
+
+#ifndef OS_THREAD_HH
+#define OS_THREAD_HH
+
+#include <cstdint>
+
+#include "exec/program.hh"
+#include "sim/ticks.hh"
+
+namespace middlesim::os
+{
+
+/** Scheduling state of a model thread. */
+enum class ThreadState : std::uint8_t
+{
+    Runnable,
+    Running,
+    /** Blocked on a lock, pool or timed wait. */
+    Blocked,
+    Finished,
+};
+
+/** One schedulable thread: a program plus scheduling bookkeeping. */
+struct SimThread
+{
+    unsigned tid = 0;
+    exec::ThreadProgram *program = nullptr;
+    ThreadState state = ThreadState::Runnable;
+
+    /**
+     * True for benchmark threads confined to the application's
+     * processor set (psrset); false for OS/service threads.
+     */
+    bool inAppSet = true;
+
+    /** CPU this thread is pinned to, or -1 for any eligible CPU. */
+    int boundCpu = -1;
+
+    /** CPU the thread last ran on (scheduler affinity hint). */
+    int lastCpu = -1;
+
+    /** When the thread entered the run queue (migration aging). */
+    sim::Tick queuedSince = 0;
+
+    /** Wakeup time for threads blocked on a timed wait. */
+    sim::Tick wakeTime = 0;
+
+    /** Locks currently held (suppresses preemption while nonzero). */
+    unsigned heldLocks = 0;
+
+    /** Completed transactions (all types). */
+    std::uint64_t txCompleted = 0;
+};
+
+} // namespace middlesim::os
+
+#endif // OS_THREAD_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Machine-level configuration structures.
+ *
+ * Defaults model the paper's measurement platform: a 16-processor Sun
+ * E6000 with UltraSPARC II processors and 1 MB L2 caches on a snooping
+ * bus. The simulated cache sweeps in the paper use 4-way set
+ * associative caches with 64-byte blocks; we adopt those geometries as
+ * defaults throughout.
+ */
+
+#ifndef SIM_CONFIG_HH
+#define SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/log.hh"
+
+namespace middlesim::sim
+{
+
+/** Geometry of one cache. */
+struct CacheParams
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 1u << 20;
+    /** Set associativity (1 = direct mapped). */
+    unsigned assoc = 4;
+    /** Block (line) size in bytes; the paper uses 64 B throughout. */
+    unsigned blockBytes = 64;
+
+    std::uint64_t numBlocks() const { return sizeBytes / blockBytes; }
+    std::uint64_t numSets() const { return numBlocks() / assoc; }
+
+    /** Validate that the geometry is self-consistent. */
+    void
+    validate(const std::string &name) const
+    {
+        if (blockBytes == 0 || (blockBytes & (blockBytes - 1)) != 0)
+            fatal(name, ": block size must be a power of two");
+        if (assoc == 0)
+            fatal(name, ": associativity must be nonzero");
+        if (sizeBytes % (static_cast<std::uint64_t>(blockBytes) * assoc)
+                != 0) {
+            fatal(name, ": size must be a multiple of assoc * block");
+        }
+        if (numSets() == 0)
+            fatal(name, ": cache has no sets");
+    }
+};
+
+/** Configuration of the modeled multiprocessor. */
+struct MachineConfig
+{
+    /** Physical processors in the machine (E6000: 16). */
+    unsigned totalCpus = 16;
+
+    /**
+     * Processors in the application's processor set (psrset). The
+     * benchmark's threads are bound here; the OS continues to run
+     * background activity on all totalCpus processors.
+     */
+    unsigned appCpus = 16;
+
+    /** Private split L1 instruction cache. */
+    CacheParams l1i{16 * 1024, 4, 64};
+    /** Private split L1 data cache. */
+    CacheParams l1d{16 * 1024, 4, 64};
+    /** Second-level cache (private or shared, see cpusPerL2). */
+    CacheParams l2{1u << 20, 4, 64};
+
+    /**
+     * Number of processors sharing each L2 cache. 1 models the E6000's
+     * private per-processor L2s; 2/4/8 model the CMP shared-cache
+     * configurations of Figure 16.
+     */
+    unsigned cpusPerL2 = 1;
+
+    unsigned
+    numL2s() const
+    {
+        return (totalCpus + cpusPerL2 - 1) / cpusPerL2;
+    }
+
+    void
+    validate() const
+    {
+        if (totalCpus == 0)
+            fatal("machine: totalCpus must be nonzero");
+        if (appCpus == 0 || appCpus > totalCpus)
+            fatal("machine: appCpus must be in [1, totalCpus]");
+        if (cpusPerL2 == 0 || totalCpus % cpusPerL2 != 0)
+            fatal("machine: cpusPerL2 must divide totalCpus");
+        l1i.validate("l1i");
+        l1d.validate("l1d");
+        l2.validate("l2");
+        if (l1i.blockBytes != l2.blockBytes ||
+            l1d.blockBytes != l2.blockBytes) {
+            fatal("machine: L1/L2 block sizes must match");
+        }
+    }
+};
+
+} // namespace middlesim::sim
+
+#endif // SIM_CONFIG_HH

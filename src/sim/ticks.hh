@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Basic time types for the simulator.
+ *
+ * The machine modeled throughout this project is a Sun E6000-like
+ * bus-based snooping multiprocessor with 248 MHz UltraSPARC-II-like
+ * processors, matching the hardware used in the paper. All simulated
+ * time is kept in processor clock cycles ("ticks") and converted to
+ * seconds only at reporting boundaries.
+ */
+
+#ifndef SIM_TICKS_HH
+#define SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace middlesim::sim
+{
+
+/** Simulated time in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** Clock frequency of the modeled UltraSPARC II (248 MHz). */
+constexpr double clockHz = 248.0e6;
+
+/** Convert a cycle count to simulated seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / clockHz;
+}
+
+/** Convert simulated seconds to a cycle count (rounds down). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * clockHz);
+}
+
+/** Convert simulated milliseconds to a cycle count. */
+constexpr Tick
+millisToTicks(double ms)
+{
+    return secondsToTicks(ms * 1e-3);
+}
+
+} // namespace middlesim::sim
+
+#endif // SIM_TICKS_HH

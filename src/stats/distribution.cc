@@ -1,0 +1,107 @@
+#include "stats/distribution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace middlesim::stats
+{
+
+ConcentrationCurve::ConcentrationCurve(std::vector<std::uint64_t> sorted_desc)
+    : counts_(std::move(sorted_desc))
+{
+    std::sort(counts_.begin(), counts_.end(), std::greater<>());
+    cumulative_.reserve(counts_.size());
+    std::uint64_t run = 0;
+    for (auto c : counts_) {
+        run += c;
+        cumulative_.push_back(run);
+    }
+    total_ = run;
+}
+
+double
+ConcentrationCurve::shareOfTopK(std::size_t k) const
+{
+    if (total_ == 0 || k == 0)
+        return 0.0;
+    k = std::min(k, cumulative_.size());
+    return static_cast<double>(cumulative_[k - 1]) /
+           static_cast<double>(total_);
+}
+
+double
+ConcentrationCurve::shareOfTopFraction(double fraction) const
+{
+    if (counts_.empty())
+        return 0.0;
+    const auto k = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(counts_.size())));
+    return shareOfTopK(k);
+}
+
+double
+ConcentrationCurve::maxShare() const
+{
+    return shareOfTopK(1);
+}
+
+std::size_t
+ConcentrationCurve::keysForShare(double share) const
+{
+    if (total_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(share * static_cast<double>(total_)));
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(),
+                               target);
+    if (it == cumulative_.end())
+        return cumulative_.size();
+    return static_cast<std::size_t>(it - cumulative_.begin()) + 1;
+}
+
+std::vector<std::pair<double, double>>
+ConcentrationCurve::curve(unsigned n) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (counts_.empty() || n == 0)
+        return out;
+    out.reserve(n);
+    for (unsigned i = 1; i <= n; ++i) {
+        const double frac = static_cast<double>(i) / n;
+        out.emplace_back(frac, shareOfTopFraction(frac));
+    }
+    return out;
+}
+
+void
+KeyCounts::add(std::uint64_t key, std::uint64_t weight)
+{
+    counts_[key] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+KeyCounts::countOf(std::uint64_t key) const
+{
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+ConcentrationCurve
+KeyCounts::concentration() const
+{
+    std::vector<std::uint64_t> values;
+    values.reserve(counts_.size());
+    for (const auto &[key, count] : counts_)
+        values.push_back(count);
+    return ConcentrationCurve(std::move(values));
+}
+
+void
+KeyCounts::reset()
+{
+    counts_.clear();
+    total_ = 0;
+}
+
+} // namespace middlesim::stats

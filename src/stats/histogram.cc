@@ -1,0 +1,96 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/log.hh"
+
+namespace middlesim::stats
+{
+
+Histogram::Histogram(double lo, double hi, unsigned bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        fatal("histogram: need at least one bin");
+    if (!(hi > lo))
+        fatal("histogram: hi must exceed lo");
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto bin = static_cast<long>((x - lo_) / width);
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    counts_[static_cast<std::size_t>(bin)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binLo(unsigned bin) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * bin;
+}
+
+double
+Histogram::binHi(unsigned bin) const
+{
+    return binLo(bin + 1);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < counts_.size(); ++b) {
+        seen += counts_[b];
+        if (seen >= target)
+            return 0.5 * (binLo(b) + binHi(b));
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+void
+Log2Histogram::add(std::uint64_t x, std::uint64_t weight)
+{
+    const unsigned bucket = x < 2 ? 0 : std::bit_width(x) - 1;
+    if (bucket >= counts_.size())
+        counts_.resize(bucket + 1, 0);
+    counts_[bucket] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Log2Histogram::bucketCount(unsigned bucket) const
+{
+    return bucket < counts_.size() ? counts_[bucket] : 0;
+}
+
+unsigned
+Log2Histogram::numBuckets() const
+{
+    return static_cast<unsigned>(counts_.size());
+}
+
+void
+Log2Histogram::reset()
+{
+    counts_.clear();
+    total_ = 0;
+}
+
+} // namespace middlesim::stats

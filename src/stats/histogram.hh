@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-bin and logarithmic histograms.
+ *
+ * Used for GC pause time distributions, transaction latency profiles,
+ * and the timeline sampling behind Figure 10.
+ */
+
+#ifndef STATS_HISTOGRAM_HH
+#define STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace middlesim::stats
+{
+
+/** Linear histogram over [lo, hi) with equal-width bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned bins);
+
+    /** Record one sample; out-of-range samples land in edge bins. */
+    void add(double x, std::uint64_t weight = 1);
+
+    std::uint64_t binCount(unsigned bin) const { return counts_.at(bin); }
+    unsigned numBins() const { return static_cast<unsigned>(counts_.size()); }
+    std::uint64_t total() const { return total_; }
+
+    /** Lower edge of a bin. */
+    double binLo(unsigned bin) const;
+    /** Upper edge of a bin. */
+    double binHi(unsigned bin) const;
+
+    /** Approximate quantile (0..1) from the binned data. */
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Power-of-two bucketed histogram for nonnegative integer samples
+ * (bucket k holds values in [2^k, 2^(k+1))); bucket 0 holds 0 and 1.
+ */
+class Log2Histogram
+{
+  public:
+    void add(std::uint64_t x, std::uint64_t weight = 1);
+
+    std::uint64_t bucketCount(unsigned bucket) const;
+    unsigned numBuckets() const;
+    std::uint64_t total() const { return total_; }
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace middlesim::stats
+
+#endif // STATS_HISTOGRAM_HH

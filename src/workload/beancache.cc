@@ -1,0 +1,86 @@
+#include "workload/beancache.hh"
+
+#include "sim/log.hh"
+
+namespace middlesim::workload
+{
+
+BeanCache::BeanCache(mem::Addr slab_base, std::uint64_t capacity,
+                     unsigned bean_bytes, sim::Tick ttl)
+    : slabBase_(slab_base), capacity_(capacity),
+      beanBytes_((bean_bytes + 63) & ~0x3Fu), ttl_(ttl),
+      slots_(capacity)
+{
+    if (capacity == 0)
+        fatal("bean cache: capacity must be nonzero");
+}
+
+std::uint64_t
+BeanCache::slotOf(std::uint64_t key) const
+{
+    // Fibonacci hashing spreads sequential keys across slots.
+    return (key * 0x9e3779b97f4a7c15ULL >> 17) % capacity_;
+}
+
+BeanCache::Probe
+BeanCache::probe(std::uint64_t key, sim::Tick now) const
+{
+    const Probe p = peek(key, now);
+    if (p.hit)
+        ++hits_;
+    else
+        ++misses_;
+    return p;
+}
+
+BeanCache::Probe
+BeanCache::peek(std::uint64_t key, sim::Tick now) const
+{
+    const std::uint64_t slot = slotOf(key);
+    Probe p;
+    p.addr = slabBase_ + slot * beanBytes_;
+    p.bucketAddr = slabBase_ + slabBytes() + (slot / 8) * 64;
+    const Slot &s = slots_[slot];
+    p.hit = s.key == key && now < s.expires;
+    return p;
+}
+
+mem::Addr
+BeanCache::install(std::uint64_t key, sim::Tick now)
+{
+    const std::uint64_t slot = slotOf(key);
+    slots_[slot].key = key;
+    slots_[slot].expires = now + ttl_;
+    return slabBase_ + slot * beanBytes_;
+}
+
+std::uint64_t
+BeanCache::liveBytes(sim::Tick now) const
+{
+    std::uint64_t n = 0;
+    for (const Slot &s : slots_) {
+        if (s.key != ~0ULL && now < s.expires)
+            ++n;
+    }
+    return n * beanBytes_;
+}
+
+std::uint64_t
+BeanCache::occupiedBytes() const
+{
+    std::uint64_t n = 0;
+    for (const Slot &s : slots_) {
+        if (s.key != ~0ULL)
+            ++n;
+    }
+    return n * beanBytes_;
+}
+
+void
+BeanCache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace middlesim::workload

@@ -1,0 +1,71 @@
+#include "workload/codepath.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace middlesim::workload
+{
+
+void
+CodePath::add(const CodeRegion &region, double weight,
+              double hot_fraction, std::uint64_t hot_bytes)
+{
+    Entry e;
+    e.region = region;
+    e.weight = weight;
+    e.hotFraction = hot_fraction;
+    e.hotBytes = hot_bytes ? hot_bytes : std::max<std::uint64_t>(
+                                             region.bytes / 8, 64);
+    e.hotBytes = std::min(e.hotBytes, region.bytes);
+    entries_.push_back(e);
+    totalWeight_ += weight;
+}
+
+void
+CodePath::fillWalk(exec::Burst &burst, sim::Rng &rng,
+                   std::uint64_t instructions) const
+{
+    sim_assert(!entries_.empty(), "walk on empty code path");
+    // Pick a region by weight.
+    double pick = rng.real() * totalWeight_;
+    const Entry *chosen = &entries_.back();
+    for (const Entry &e : entries_) {
+        pick -= e.weight;
+        if (pick <= 0.0) {
+            chosen = &e;
+            break;
+        }
+    }
+
+    // Real instruction streams loop: a burst repeatedly executes a
+    // small window of basic blocks, not `instructions * 4` distinct
+    // bytes. The window size bounds the unique code touched per
+    // burst; window *placement* across bursts provides the footprint.
+    constexpr std::uint64_t maxWindowBytes = 2048;
+    const std::uint64_t walk_bytes =
+        std::min<std::uint64_t>(instructions * 4, maxWindowBytes);
+    const bool hot = rng.chance(chosen->hotFraction);
+    const std::uint64_t zone_bytes =
+        hot ? chosen->hotBytes : chosen->region.bytes;
+    mem::Addr start;
+    if (walk_bytes >= zone_bytes) {
+        start = chosen->region.base;
+    } else {
+        const std::uint64_t span = (zone_bytes - walk_bytes) / 64;
+        start = chosen->region.base + rng.uniform(span + 1) * 64;
+    }
+    burst.code.base = start;
+    burst.code.bytes = std::min(walk_bytes, chosen->region.bytes);
+}
+
+std::uint64_t
+CodePath::footprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Entry &e : entries_)
+        total += e.region.bytes;
+    return total;
+}
+
+} // namespace middlesim::workload

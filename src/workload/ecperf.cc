@@ -1,0 +1,449 @@
+#include "workload/ecperf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+#include "workload/script.hh"
+
+namespace middlesim::workload
+{
+
+namespace
+{
+
+/** ECperf/application-server text segment base. */
+constexpr mem::Addr ecperfTextBase = 0x1'2000'0000ULL;
+/** Worker stack region base. */
+constexpr mem::Addr stackBase = 0x3'4000'0000ULL;
+constexpr std::uint64_t stackBytes = 64 * 1024;
+
+/** Long-lived server infrastructure outside the bean cache (MB). */
+constexpr std::uint64_t serverBaseBytes = 56ULL << 20;
+
+/** Burst discriminators. */
+enum BurstKind : std::uint16_t
+{
+    ServletParse,
+    BeanRead,        // param = bean index in tx context
+    Marshal,
+    NetSend,         // param = payload bytes
+    NetRecv,         // param = payload bytes
+    UnmarshalInstall, // param = bean index
+    EjbLogic,
+    DbWriteMarshal,
+    DbWriteAck,
+    XmlParse,
+    JvmInternalWork,
+};
+
+/** Per-transaction-type static attributes. */
+struct TxAttr
+{
+    unsigned beans;
+    bool writesDb;
+    bool supplierExchange;
+    std::uint64_t ejbInstr;
+};
+
+constexpr TxAttr txAttrs[ecperfNumTxTypes] = {
+    {4, true, false, 28000},  // NewOrder
+    {3, true, false, 24000},  // ChangeOrder
+    {3, false, false, 16000}, // OrderStatus
+    {4, true, false, 32000},  // ScheduleWorkOrder
+    {3, true, false, 20000},  // UpdateWorkOrder
+    {3, true, true, 28000},   // PurchaseOrder
+};
+
+} // namespace
+
+/** One application-server worker thread (execution queue). */
+class EcperfThread : public ScriptedThread
+{
+  public:
+    EcperfThread(EcperfServer &server, unsigned worker, sim::Rng rng)
+        : server_(server), worker_(worker), rng_(rng),
+          jvmTid_(server.vm().registerThread()),
+          conn_(server.kernel().makeConnection()),
+          stack_(stackBase +
+                 static_cast<mem::Addr>(jvmTid_) * stackBytes)
+    {
+        double total = 0.0;
+        for (unsigned t = 0; t < ecperfNumTxTypes; ++t)
+            total += server_.params().mix[t];
+        mixTotal_ = total;
+    }
+
+  protected:
+    void
+    planTransaction(sim::Tick now) override
+    {
+        const EcperfParams &p = server_.params();
+        txType_ = pickType();
+        const TxAttr &attr = txAttrs[static_cast<unsigned>(txType_)];
+
+        pushBurst(ServletParse);
+
+        // Entity bean accesses through the object-level cache.
+        nBeans_ = attr.beans;
+        for (unsigned b = 0; b < nBeans_; ++b) {
+            beanKey_[b] = server_.beanKeys_->sample(rng_);
+            const BeanCache::Probe probe =
+                server_.beanCache_->probe(beanKey_[b], now);
+            beanHit_[b] = probe.hit;
+            if (probe.hit) {
+                pushBurst(BeanRead, b);
+            } else {
+                planDbRoundTrip(/*unmarshal_bean=*/static_cast<int>(b),
+                                /*query=*/true);
+            }
+        }
+
+        pushBurst(EjbLogic);
+
+        if (attr.writesDb)
+            planDbRoundTrip(/*unmarshal_bean=*/-1, /*query=*/false);
+
+        if (attr.supplierExchange) {
+            // XML purchase order to the supplier emulator.
+            pushLock(server_.kernel().netstackLock(),
+                     exec::ExecMode::System);
+            pushBurst(NetSend, 1024, exec::ExecMode::System);
+            pushUnlock(server_.kernel().netstackLock(),
+                       exec::ExecMode::System);
+            pushWait(expo(p.supplierLatencyMean));
+            pushLock(server_.kernel().netstackLock(),
+                     exec::ExecMode::System);
+            pushBurst(NetRecv, 2048, exec::ExecMode::System);
+            pushUnlock(server_.kernel().netstackLock(),
+                       exec::ExecMode::System);
+            pushBurst(XmlParse);
+        }
+
+        if (rng_.chance(0.15)) {
+            pushLock(server_.vm().internalLock());
+            pushBurst(JvmInternalWork);
+            pushUnlock(server_.vm().internalLock());
+        }
+        pushTxDone(static_cast<unsigned>(txType_));
+    }
+
+    void
+    fillBurst(const Step &step, exec::Burst &burst,
+              sim::Tick now) override
+    {
+        const EcperfParams &p = server_.params();
+        const double scale = p.instrScale;
+        switch (static_cast<BurstKind>(step.burstKind)) {
+          case ServletParse:
+            burst.instructions =
+                static_cast<std::uint64_t>(16000 * scale);
+            server_.servletPath_.fillWalk(burst, rng_,
+                                          burst.instructions);
+            sessionRefs(burst, 3, 2);
+            server_.vm().allocate(jvmTid_, 1024, &burst);
+            server_.vm().allocate(jvmTid_, p.tempAllocBytes / 2, &burst);
+            stackRefs(burst);
+            break;
+          case BeanRead: {
+            burst.instructions =
+                static_cast<std::uint64_t>(3000 * scale);
+            server_.ejbPath_[static_cast<unsigned>(txType_)].fillWalk(
+                burst, rng_, burst.instructions);
+            const BeanCache::Probe probe =
+                server_.beanCache_->peek(beanKey_[step.param], now);
+            burst.load(probe.bucketAddr);
+            // Read the cached bean's fields: widely shared lines.
+            for (unsigned i = 0; i < p.beanBytes / 64 && i < 8; ++i)
+                burst.load(probe.addr + i * 64);
+            stackRefs(burst);
+            break;
+          }
+          case Marshal:
+            burst.instructions =
+                static_cast<std::uint64_t>(6000 * scale);
+            server_.jdbcPath_.fillWalk(burst, rng_,
+                                       burst.instructions);
+            server_.vm().allocate(jvmTid_, 512, &burst);
+            stackRefs(burst);
+            break;
+          case NetSend:
+            server_.kernel().fillNetBurst(burst, rng_, conn_,
+                                          step.param, true);
+            break;
+          case NetRecv:
+            server_.kernel().fillNetBurst(burst, rng_, conn_,
+                                          step.param, false);
+            break;
+          case UnmarshalInstall: {
+            burst.instructions =
+                static_cast<std::uint64_t>(8000 * scale);
+            server_.jdbcPath_.fillWalk(burst, rng_,
+                                       burst.instructions);
+            const mem::Addr addr = server_.beanCache_->install(
+                beanKey_[step.param], now);
+            // The bean image is rewritten wholesale from the result
+            // set: block-initializing stores.
+            for (unsigned i = 0; i < p.beanBytes / 64 && i < 8; ++i)
+                burst.blockStore(addr + i * 64);
+            server_.vm().allocate(jvmTid_, p.beanBytes, &burst);
+            stackRefs(burst);
+            break;
+          }
+          case EjbLogic: {
+            const TxAttr &attr = txAttrs[static_cast<unsigned>(txType_)];
+            burst.instructions = static_cast<std::uint64_t>(
+                static_cast<double>(attr.ejbInstr) * scale);
+            server_.ejbPath_[static_cast<unsigned>(txType_)].fillWalk(
+                burst, rng_, burst.instructions);
+            // Update entity state on beans touched by this tx:
+            // write-shared lines.
+            for (unsigned b = 0; b < nBeans_; ++b) {
+                const BeanCache::Probe probe =
+                    server_.beanCache_->peek(beanKey_[b], now);
+                burst.store(probe.addr);
+                burst.store(probe.addr + 64);
+                burst.store(probe.addr + 128);
+                burst.store(probe.addr + 192);
+            }
+            sessionRefs(burst, 2, 3);
+            server_.vm().allocate(jvmTid_, 2048, &burst);
+            server_.vm().allocate(jvmTid_, p.tempAllocBytes, &burst);
+            stackRefs(burst);
+            break;
+          }
+          case DbWriteMarshal:
+            burst.instructions =
+                static_cast<std::uint64_t>(5000 * scale);
+            server_.jdbcPath_.fillWalk(burst, rng_,
+                                       burst.instructions);
+            server_.vm().allocate(jvmTid_, 512, &burst);
+            stackRefs(burst);
+            break;
+          case DbWriteAck:
+            burst.instructions =
+                static_cast<std::uint64_t>(2000 * scale);
+            server_.jdbcPath_.fillWalk(burst, rng_,
+                                       burst.instructions);
+            stackRefs(burst);
+            break;
+          case XmlParse:
+            burst.instructions =
+                static_cast<std::uint64_t>(20000 * scale);
+            server_.xmlPath_.fillWalk(burst, rng_,
+                                      burst.instructions);
+            server_.vm().allocate(jvmTid_, 4096, &burst);
+            server_.vm().allocate(jvmTid_, p.tempAllocBytes, &burst);
+            sessionRefs(burst, 2, 2);
+            stackRefs(burst);
+            break;
+          case JvmInternalWork:
+            burst.instructions =
+                static_cast<std::uint64_t>(600 * scale);
+            server_.servletPath_.fillWalk(burst, rng_,
+                                          burst.instructions);
+            burst.load(server_.vm().internalLock().lineAddr() + 64);
+            burst.store(server_.vm().internalLock().lineAddr() + 128);
+            stackRefs(burst);
+            break;
+        }
+    }
+
+  private:
+    void
+    planDbRoundTrip(int unmarshal_bean, bool query)
+    {
+        const EcperfParams &p = server_.params();
+        pushPoolAcquire(*server_.connPool_);
+        pushBurst(query ? Marshal : DbWriteMarshal);
+        pushLock(server_.kernel().netstackLock(),
+                 exec::ExecMode::System);
+        pushBurst(NetSend, 512, exec::ExecMode::System);
+        pushUnlock(server_.kernel().netstackLock(),
+                   exec::ExecMode::System);
+        pushWait(expo(p.dbLatencyMean));
+        pushLock(server_.kernel().netstackLock(),
+                 exec::ExecMode::System);
+        pushBurst(NetRecv, query ? 1024 : 256, exec::ExecMode::System);
+        pushUnlock(server_.kernel().netstackLock(),
+                   exec::ExecMode::System);
+        if (unmarshal_bean >= 0) {
+            pushBurst(UnmarshalInstall,
+                      static_cast<std::uint32_t>(unmarshal_bean));
+        } else {
+            pushBurst(DbWriteAck);
+        }
+        pushPoolRelease(*server_.connPool_);
+    }
+
+    EcperfTx
+    pickType()
+    {
+        double pick = rng_.real() * mixTotal_;
+        for (unsigned t = 0; t < ecperfNumTxTypes; ++t) {
+            pick -= server_.params().mix[t];
+            if (pick <= 0.0)
+                return static_cast<EcperfTx>(t);
+        }
+        return EcperfTx::NewOrder;
+    }
+
+    sim::Tick
+    expo(sim::Tick mean)
+    {
+        const double u = rng_.real();
+        return static_cast<sim::Tick>(
+            -std::log(1.0 - u) * static_cast<double>(mean)) + 1;
+    }
+
+    /** HTTP-session state: mostly private per worker. */
+    void
+    sessionRefs(exec::Burst &burst, unsigned loads, unsigned stores)
+    {
+        const mem::Addr base =
+            server_.sessionBase_ +
+            static_cast<mem::Addr>(worker_) *
+                server_.sessionBytesPerWorker_;
+        const std::uint64_t lines = server_.sessionBytesPerWorker_ / 64;
+        for (unsigned i = 0; i < loads; ++i)
+            burst.load(base + rng_.uniform(lines) * 64);
+        for (unsigned i = 0; i < stores; ++i)
+            burst.store(base + rng_.uniform(lines) * 64);
+    }
+
+    void
+    stackRefs(exec::Burst &burst)
+    {
+        for (unsigned i = 0; i < 3; ++i)
+            burst.load(stack_ + rng_.uniform(8) * 64);
+        burst.store(stack_ + rng_.uniform(8) * 64);
+    }
+
+    EcperfServer &server_;
+    unsigned worker_;
+    sim::Rng rng_;
+    unsigned jvmTid_;
+    unsigned conn_;
+    mem::Addr stack_;
+    double mixTotal_ = 1.0;
+
+    EcperfTx txType_ = EcperfTx::NewOrder;
+    unsigned nBeans_ = 0;
+    std::uint64_t beanKey_[4] = {};
+    bool beanHit_[4] = {};
+};
+
+EcperfServer::EcperfServer(const EcperfParams &params, jvm::Jvm &vm,
+                           os::KernelModel &kernel, unsigned app_cpus,
+                           sim::Rng rng)
+    : params_(params), vm_(vm), kernel_(kernel), rng_(rng),
+      codeLib_(ecperfTextBase)
+{
+    if (params_.injectionRate == 0)
+        fatal("ecperf: injection rate must be nonzero");
+    const unsigned cpus = app_cpus ? app_cpus : params_.tunedForCpus;
+    numWorkers_ =
+        params_.workerThreads ? params_.workerThreads : 16 * cpus;
+    const unsigned conns =
+        params_.connPoolSize ? params_.connPoolSize : 6 * cpus;
+
+    jvm::Heap &heap = vm_.heap();
+
+    // Bean cache slab + hash buckets.
+    const std::uint64_t slab_bytes =
+        params_.beanCacheCapacity *
+        ((params_.beanBytes + 63) & ~0x3Fu);
+    const std::uint64_t bucket_bytes =
+        ((params_.beanCacheCapacity / 8) + 1) * 64;
+    const mem::Addr slab = heap.allocateOld(slab_bytes + bucket_bytes);
+    beanSlabBase_ = slab;
+    beanSlabBytes_ = slab_bytes + bucket_bytes;
+    beanCache_ = std::make_unique<BeanCache>(
+        slab, params_.beanCacheCapacity, params_.beanBytes,
+        params_.beanTtl);
+
+    // Entity key space scales with the injection rate (the database,
+    // on its own machine, grows; the middle tier's key universe with
+    // it).
+    beanKeys_ = std::make_unique<ZipfSampler>(
+        params_.keysPerOir * params_.injectionRate, params_.beanZipf);
+
+    // DB connection pool: its control word is a shared heap line.
+    const mem::Addr pool_line = heap.allocateOld(64);
+    connPool_ = std::make_unique<exec::ResourcePool>("db-conns",
+                                                     pool_line, conns);
+
+    sessionBase_ = heap.allocateOld(
+        static_cast<std::uint64_t>(numWorkers_) *
+        sessionBytesPerWorker_);
+
+    // Reserve the remaining long-lived server infrastructure.
+    heap.allocateOld(serverBaseBytes);
+
+    // Code layout: the large middleware instruction footprint.
+    const CodeRegion server_core =
+        codeLib_.add("appserver-core", 512 * 1024);
+    const CodeRegion servlet_eng =
+        codeLib_.add("servlet-engine", 256 * 1024);
+    const CodeRegion ejb_container =
+        codeLib_.add("ejb-container", 384 * 1024);
+    const CodeRegion app_beans = codeLib_.add("app-beans", 256 * 1024);
+    const CodeRegion jdbc = codeLib_.add("jdbc-driver", 192 * 1024);
+    const CodeRegion xml = codeLib_.add("xml-parser", 128 * 1024);
+
+    servletPath_.add(servlet_eng, 2.0, 0.75);
+    servletPath_.add(server_core, 1.0, 0.75);
+    for (unsigned t = 0; t < ecperfNumTxTypes; ++t) {
+        ejbPath_[t].add(ejb_container, 2.0, 0.75);
+        ejbPath_[t].add(app_beans, 1.5, 0.75);
+        ejbPath_[t].add(server_core, 1.0, 0.75);
+    }
+    jdbcPath_.add(jdbc, 2.0, 0.78);
+    jdbcPath_.add(server_core, 0.5, 0.75);
+    xmlPath_.add(xml, 2.0, 0.78);
+    xmlPath_.add(server_core, 0.5, 0.75);
+}
+
+std::uint64_t
+EcperfServer::liveBytes() const
+{
+    // Steady-state middle-tier footprint: a long-running server's
+    // bean cache fills to min(entity universe, capacity); a short
+    // simulated window cannot touch the Zipf tail, so the equilibrium
+    // value is used rather than the instantaneous occupancy (which
+    // remains available via beanCache().occupiedBytes()).
+    const std::uint64_t universe =
+        params_.keysPerOir * params_.injectionRate;
+    const std::uint64_t steady_beans =
+        std::min<std::uint64_t>(universe, params_.beanCacheCapacity);
+    return serverBaseBytes +
+           steady_beans * ((params_.beanBytes + 63) & ~0x3Fu) +
+           static_cast<std::uint64_t>(numWorkers_) *
+               sessionBytesPerWorker_;
+}
+
+std::vector<std::unique_ptr<exec::ThreadProgram>>
+EcperfServer::makeThreads()
+{
+    std::vector<std::unique_ptr<exec::ThreadProgram>> threads;
+    threads.reserve(numWorkers_);
+    for (unsigned w = 0; w < numWorkers_; ++w) {
+        threads.push_back(
+            std::make_unique<EcperfThread>(*this, w, rng_.fork()));
+    }
+    return threads;
+}
+
+std::unique_ptr<EcperfServer>
+buildEcperf(const EcperfParams &params, jvm::Jvm &vm,
+            os::KernelModel &kernel, unsigned app_cpus, sim::Rng rng)
+{
+    auto server = std::make_unique<EcperfServer>(params, vm, kernel,
+                                                 app_cpus, rng);
+    vm.heap().pretenureSeal();
+    vm.setLiveBytesProvider(
+        [srv = server.get()] { return srv->liveBytes(); });
+    return server;
+}
+
+} // namespace middlesim::workload

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Scripted thread programs.
+ *
+ * Workload threads plan one transaction at a time as a short script
+ * of steps (bursts, lock/pool operations, waits, completion marks),
+ * then replay it step by step through the ThreadProgram interface.
+ * The script vector is reused across transactions, so steady-state
+ * execution does not allocate.
+ */
+
+#ifndef WORKLOAD_SCRIPT_HH
+#define WORKLOAD_SCRIPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/program.hh"
+#include "sim/ticks.hh"
+
+namespace middlesim::workload
+{
+
+/** One step of a transaction script. */
+struct Step
+{
+    exec::OpKind kind = exec::OpKind::Burst;
+    exec::ExecMode mode = exec::ExecMode::User;
+    exec::Lock *lock = nullptr;
+    exec::ResourcePool *pool = nullptr;
+    sim::Tick wait = 0;
+    unsigned txType = 0;
+    /** Workload-defined burst discriminator. */
+    std::uint16_t burstKind = 0;
+    /** Workload-defined burst parameter. */
+    std::uint32_t param = 0;
+};
+
+/** Thread program that replays scripts planned per transaction. */
+class ScriptedThread : public exec::ThreadProgram
+{
+  public:
+    exec::NextOp
+    next(exec::Burst &burst, sim::Tick now) final
+    {
+        if (pc_ >= script_.size()) {
+            script_.clear();
+            pc_ = 0;
+            planTransaction(now);
+        }
+        const Step &s = script_[pc_++];
+        exec::NextOp op;
+        op.kind = s.kind;
+        op.mode = s.mode;
+        op.lock = s.lock;
+        op.pool = s.pool;
+        op.wait = s.wait;
+        op.txType = s.txType;
+        if (s.kind == exec::OpKind::Burst) {
+            burst.mode = s.mode;
+            fillBurst(s, burst, now);
+        }
+        return op;
+    }
+
+  protected:
+    /** Append the steps of the next transaction to the script. */
+    virtual void planTransaction(sim::Tick now) = 0;
+
+    /** Fill the burst for a Step with kind == Burst. */
+    virtual void fillBurst(const Step &step, exec::Burst &burst,
+                           sim::Tick now) = 0;
+
+    // Script-building helpers.
+    void
+    pushBurst(std::uint16_t kind, std::uint32_t param = 0,
+              exec::ExecMode mode = exec::ExecMode::User)
+    {
+        Step s;
+        s.kind = exec::OpKind::Burst;
+        s.mode = mode;
+        s.burstKind = kind;
+        s.param = param;
+        script_.push_back(s);
+    }
+
+    void
+    pushLock(exec::Lock &lock,
+             exec::ExecMode mode = exec::ExecMode::User)
+    {
+        Step s;
+        s.kind = exec::OpKind::LockAcquire;
+        s.mode = mode;
+        s.lock = &lock;
+        script_.push_back(s);
+    }
+
+    void
+    pushUnlock(exec::Lock &lock,
+               exec::ExecMode mode = exec::ExecMode::User)
+    {
+        Step s;
+        s.kind = exec::OpKind::LockRelease;
+        s.mode = mode;
+        s.lock = &lock;
+        script_.push_back(s);
+    }
+
+    void
+    pushPoolAcquire(exec::ResourcePool &pool)
+    {
+        Step s;
+        s.kind = exec::OpKind::PoolAcquire;
+        s.pool = &pool;
+        script_.push_back(s);
+    }
+
+    void
+    pushPoolRelease(exec::ResourcePool &pool)
+    {
+        Step s;
+        s.kind = exec::OpKind::PoolRelease;
+        s.pool = &pool;
+        script_.push_back(s);
+    }
+
+    void
+    pushWait(sim::Tick wait)
+    {
+        Step s;
+        s.kind = exec::OpKind::Wait;
+        s.wait = wait;
+        script_.push_back(s);
+    }
+
+    void
+    pushTxDone(unsigned tx_type)
+    {
+        Step s;
+        s.kind = exec::OpKind::TxDone;
+        s.txType = tx_type;
+        script_.push_back(s);
+    }
+
+    std::vector<Step> script_;
+    std::size_t pc_ = 0;
+};
+
+} // namespace middlesim::workload
+
+#endif // WORKLOAD_SCRIPT_HH

@@ -1,0 +1,365 @@
+#include "workload/specjbb.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/log.hh"
+#include "workload/script.hh"
+
+namespace middlesim::workload
+{
+
+namespace
+{
+
+/** SPECjbb text segment base. */
+constexpr mem::Addr jbbTextBase = 0x1'0000'0000ULL;
+/** Per-thread stack region base. */
+constexpr mem::Addr stackBase = 0x3'0000'0000ULL;
+constexpr std::uint64_t stackBytes = 64 * 1024;
+
+/** Burst discriminators. */
+enum BurstKind : std::uint16_t
+{
+    NewOrderHeader,
+    OrderLineGroup,
+    PaymentBody,
+    OrderStatusBody,
+    DeliveryGroup,
+    StockLevelBody,
+    JvmInternalWork,
+};
+
+} // namespace
+
+/** One warehouse worker thread. */
+class SpecJbbThread : public ScriptedThread
+{
+  public:
+    SpecJbbThread(SpecJbbCompany &co, unsigned wh, sim::Rng rng)
+        : co_(co), wh_(wh), rng_(rng),
+          jvmTid_(co.vm().registerThread()),
+          stack_(stackBase + static_cast<mem::Addr>(jvmTid_) * stackBytes)
+    {
+        double total = 0.0;
+        for (unsigned t = 0; t < jbbNumTxTypes; ++t)
+            total += co_.params().mix[t];
+        mixTotal_ = total;
+    }
+
+  protected:
+    void
+    planTransaction(sim::Tick) override
+    {
+        const SpecJbbParams &p = co_.params();
+        txType_ = pickType();
+        txWh_ = wh_;
+
+        switch (txType_) {
+          case JbbTx::NewOrder: {
+            const unsigned lines = std::max<unsigned>(
+                1, p.orderLinesMean - 2 +
+                       static_cast<unsigned>(rng_.uniform(5)));
+            pushLock(co_.warehouseLock(wh_));
+            pushBurst(NewOrderHeader);
+            for (unsigned done = 0; done < lines; done += 5)
+                pushBurst(OrderLineGroup, std::min(5u, lines - done));
+            pushUnlock(co_.warehouseLock(wh_));
+            break;
+          }
+          case JbbTx::Payment: {
+            if (rng_.chance(p.remotePaymentProb) && p.warehouses > 1) {
+                txWh_ = static_cast<unsigned>(
+                    rng_.uniform(p.warehouses));
+            }
+            pushLock(co_.warehouseLock(txWh_));
+            pushBurst(PaymentBody);
+            pushUnlock(co_.warehouseLock(txWh_));
+            break;
+          }
+          case JbbTx::OrderStatus:
+            pushLock(co_.warehouseLock(wh_));
+            pushBurst(OrderStatusBody);
+            pushUnlock(co_.warehouseLock(wh_));
+            break;
+          case JbbTx::Delivery:
+            pushLock(co_.warehouseLock(wh_));
+            pushBurst(DeliveryGroup, p.deliveryBatch);
+            pushUnlock(co_.warehouseLock(wh_));
+            break;
+          case JbbTx::StockLevel:
+            pushLock(co_.warehouseLock(wh_));
+            pushBurst(StockLevelBody);
+            pushUnlock(co_.warehouseLock(wh_));
+            break;
+        }
+
+        if (rng_.chance(p.jvmLockProb)) {
+            pushLock(co_.vm().internalLock());
+            pushBurst(JvmInternalWork);
+            pushUnlock(co_.vm().internalLock());
+        }
+        pushTxDone(static_cast<unsigned>(txType_));
+    }
+
+    void
+    fillBurst(const Step &step, exec::Burst &burst, sim::Tick) override
+    {
+        const SpecJbbParams &p = co_.params();
+        const double scale = p.instrScale;
+        switch (static_cast<BurstKind>(step.burstKind)) {
+          case NewOrderHeader: {
+            burst.instructions = static_cast<std::uint64_t>(6000 * scale);
+            co_.txPath_[0].fillWalk(burst, rng_, burst.instructions);
+            co_.custTree(wh_).fillDescentTiered(
+                burst, rng_, false, p.custHotLeaves, p.hotLeafProb,
+                p.custWarmLeaves, p.warmLeafProb);
+            // District next-order-id: the per-warehouse hot word.
+            burst.load(co_.distTree(wh_).nodeAddr(0, 0));
+            burst.store(co_.distTree(wh_).nodeAddr(0, 0));
+            // Company-wide statistics: globally shared hot lines,
+            // read and written by every warehouse thread.
+            burst.load(co_.companyLine(rng_.uniform(4)));
+            burst.store(co_.companyLine(rng_.uniform(4)));
+            burst.load(co_.companyLine(rng_.uniform(4)));
+            const mem::Addr order = co_.vm().allocate(
+                jvmTid_, p.orderBytes, &burst);
+            co_.vm().allocate(jvmTid_, p.tempAllocBytes, &burst);
+            recentOrders_[recentHead_++ % recentOrders_.size()] = order;
+            co_.noteOrderCreated();
+            stackRefs(burst);
+            break;
+          }
+          case OrderLineGroup: {
+            const unsigned lines = step.param;
+            burst.instructions =
+                static_cast<std::uint64_t>(2200.0 * scale * lines);
+            co_.txPath_[0].fillWalk(burst, rng_, burst.instructions);
+            for (unsigned i = 0; i < lines; ++i) {
+                co_.itemTree().fillDescentTiered(
+                    burst, rng_, false, p.itemHotLeaves,
+                    p.hotLeafProb, p.itemHotLeaves * 8,
+                    p.warmLeafProb);
+                unsigned supply_wh = wh_;
+                if (rng_.chance(p.remoteItemProb) && p.warehouses > 1) {
+                    supply_wh = static_cast<unsigned>(
+                        rng_.uniform(p.warehouses));
+                }
+                co_.stockTree(supply_wh).fillDescentTiered(
+                    burst, rng_, true, p.stockHotLeaves,
+                    p.hotLeafProb, p.stockWarmLeaves,
+                    p.warmLeafProb);
+            }
+            co_.vm().allocate(jvmTid_, 96 * lines, &burst);
+            co_.vm().allocate(jvmTid_, p.tempAllocBytes / 2, &burst);
+            stackRefs(burst);
+            break;
+          }
+          case PaymentBody: {
+            burst.instructions = static_cast<std::uint64_t>(9000 * scale);
+            co_.txPath_[1].fillWalk(burst, rng_, burst.instructions);
+            const mem::Addr cust = co_.custTree(txWh_).fillDescentTiered(
+                burst, rng_, true, p.custHotLeaves, p.hotLeafProb,
+                p.custWarmLeaves, p.warmLeafProb);
+            burst.load(cust);
+            burst.store(co_.distTree(txWh_).nodeAddr(0, 0));
+            burst.store(co_.warehouseTotalsLine(txWh_));
+            burst.load(co_.companyLine(rng_.uniform(4)));
+            burst.store(co_.companyLine(rng_.uniform(4)));
+            co_.vm().allocate(jvmTid_, 256, &burst);
+            co_.vm().allocate(jvmTid_, p.tempAllocBytes, &burst);
+            stackRefs(burst);
+            break;
+          }
+          case OrderStatusBody: {
+            burst.instructions = static_cast<std::uint64_t>(7000 * scale);
+            co_.txPath_[2].fillWalk(burst, rng_, burst.instructions);
+            co_.custTree(wh_).fillDescentTiered(
+                burst, rng_, false, p.custHotLeaves, p.hotLeafProb,
+                p.custWarmLeaves, p.warmLeafProb);
+            for (unsigned i = 0; i < 4; ++i) {
+                const mem::Addr o = recentOrder(i);
+                if (o)
+                    burst.load(o + rng_.uniform(4) * 64);
+            }
+            stackRefs(burst);
+            break;
+          }
+          case DeliveryGroup: {
+            const unsigned batch = step.param;
+            burst.instructions =
+                static_cast<std::uint64_t>(2000.0 * scale * batch);
+            co_.txPath_[3].fillWalk(burst, rng_, burst.instructions);
+            for (unsigned i = 0; i < batch; ++i) {
+                const mem::Addr o = recentOrder(i);
+                if (o) {
+                    burst.load(o);
+                    burst.store(o);
+                }
+                co_.custTree(wh_).fillDescentTiered(
+                    burst, rng_, true, p.custHotLeaves,
+                    p.hotLeafProb, p.custWarmLeaves, p.warmLeafProb);
+            }
+            co_.noteOrdersDelivered(batch);
+            stackRefs(burst);
+            break;
+          }
+          case StockLevelBody: {
+            burst.instructions = static_cast<std::uint64_t>(9000 * scale);
+            co_.txPath_[4].fillWalk(burst, rng_, burst.instructions);
+            burst.load(co_.distTree(wh_).nodeAddr(0, 0));
+            co_.stockTree(wh_).fillLeafScan(burst, rng_, 20);
+            stackRefs(burst);
+            break;
+          }
+          case JvmInternalWork: {
+            burst.instructions = static_cast<std::uint64_t>(1500 * scale);
+            co_.jvmRuntimePath_.fillWalk(burst, rng_,
+                                         burst.instructions);
+            // Shared JVM runtime state guarded by the internal lock.
+            burst.load(co_.vm().internalLock().lineAddr() + 64);
+            burst.store(co_.vm().internalLock().lineAddr() + 128);
+            burst.store(co_.vm().internalLock().lineAddr() + 192);
+            stackRefs(burst);
+            break;
+          }
+        }
+    }
+
+  private:
+    JbbTx
+    pickType()
+    {
+        double pick = rng_.real() * mixTotal_;
+        for (unsigned t = 0; t < jbbNumTxTypes; ++t) {
+            pick -= co_.params().mix[t];
+            if (pick <= 0.0)
+                return static_cast<JbbTx>(t);
+        }
+        return JbbTx::NewOrder;
+    }
+
+    /** Per-thread stack/local activity (private, L1-resident). */
+    void
+    stackRefs(exec::Burst &burst)
+    {
+        for (unsigned i = 0; i < 3; ++i)
+            burst.load(stack_ + rng_.uniform(8) * 64);
+        burst.store(stack_ + rng_.uniform(8) * 64);
+    }
+
+    mem::Addr
+    recentOrder(unsigned back) const
+    {
+        const unsigned n = static_cast<unsigned>(recentOrders_.size());
+        return recentOrders_[(recentHead_ + n - 1 - (back % n)) % n];
+    }
+
+    SpecJbbCompany &co_;
+    unsigned wh_;
+    sim::Rng rng_;
+    unsigned jvmTid_;
+    mem::Addr stack_;
+    double mixTotal_ = 1.0;
+
+    JbbTx txType_ = JbbTx::NewOrder;
+    unsigned txWh_ = 0;
+    std::array<mem::Addr, 64> recentOrders_{};
+    unsigned recentHead_ = 0;
+};
+
+SpecJbbCompany::SpecJbbCompany(const SpecJbbParams &params, jvm::Jvm &vm,
+                               sim::Rng rng)
+    : params_(params), vm_(vm), rng_(rng), codeLib_(jbbTextBase)
+{
+    if (params_.warehouses == 0)
+        fatal("specjbb: need at least one warehouse");
+
+    jvm::Heap &heap = vm_.heap();
+
+    // Shared read-only item table.
+    {
+        ObjectTree probe(0, params_.itemLevels, params_.itemFanout,
+                         params_.nodeBytes);
+        const mem::Addr base = heap.allocateOld(probe.footprintBytes());
+        itemTree_ = std::make_unique<ObjectTree>(
+            base, params_.itemLevels, params_.itemFanout,
+            params_.nodeBytes);
+    }
+
+    // Per-warehouse tables and locks.
+    for (unsigned w = 0; w < params_.warehouses; ++w) {
+        auto make = [&](unsigned levels, unsigned fanout) {
+            ObjectTree probe(0, levels, fanout, params_.nodeBytes);
+            const mem::Addr base =
+                heap.allocateOld(probe.footprintBytes());
+            return std::make_unique<ObjectTree>(base, levels, fanout,
+                                                params_.nodeBytes);
+        };
+        stock_.push_back(make(params_.stockLevels, params_.stockFanout));
+        cust_.push_back(make(params_.custLevels, params_.custFanout));
+        dist_.push_back(make(params_.distLevels, params_.distFanout));
+        whLocks_.push_back(&vm_.makeLock("warehouse"));
+    }
+
+    companyBase_ = heap.allocateOld(4 * 64);
+    whTotalsBase_ = heap.allocateOld(params_.warehouses * 64);
+
+    // Code layout: compact JIT-compiled application working set.
+    const CodeRegion tx_logic = codeLib_.add("jbb-tx-logic", 160 * 1024);
+    const CodeRegion btree = codeLib_.add("jbb-btree", 48 * 1024);
+    const CodeRegion util = codeLib_.add("jbb-util", 64 * 1024);
+    const CodeRegion runtime = codeLib_.add("jvm-runtime", 96 * 1024);
+    for (unsigned t = 0; t < jbbNumTxTypes; ++t) {
+        txPath_[t].add(tx_logic, 2.0, 0.8);
+        txPath_[t].add(btree, 1.5, 0.7);
+        txPath_[t].add(util, 0.5, 0.8);
+        txPath_[t].add(runtime, 1.0, 0.85);
+    }
+    jvmRuntimePath_.add(runtime, 1.0, 0.85);
+}
+
+std::uint64_t
+SpecJbbCompany::perWarehouseBytes() const
+{
+    return stock_[0]->footprintBytes() + cust_[0]->footprintBytes() +
+           dist_[0]->footprintBytes();
+}
+
+mem::Addr
+SpecJbbCompany::warehouseTotalsLine(unsigned wh) const
+{
+    return whTotalsBase_ + static_cast<mem::Addr>(wh) * 64;
+}
+
+std::uint64_t
+SpecJbbCompany::liveBytes() const
+{
+    return itemTree_->footprintBytes() +
+           params_.warehouses * perWarehouseBytes() +
+           outstanding_ * params_.orderBytes;
+}
+
+std::vector<std::unique_ptr<exec::ThreadProgram>>
+SpecJbbCompany::makeThreads()
+{
+    std::vector<std::unique_ptr<exec::ThreadProgram>> threads;
+    threads.reserve(params_.warehouses);
+    for (unsigned w = 0; w < params_.warehouses; ++w) {
+        threads.push_back(
+            std::make_unique<SpecJbbThread>(*this, w, rng_.fork()));
+    }
+    return threads;
+}
+
+std::unique_ptr<SpecJbbCompany>
+buildSpecJbb(const SpecJbbParams &params, jvm::Jvm &vm, sim::Rng rng)
+{
+    auto company = std::make_unique<SpecJbbCompany>(params, vm, rng);
+    vm.heap().pretenureSeal();
+    vm.setLiveBytesProvider(
+        [co = company.get()] { return co->liveBytes(); });
+    return company;
+}
+
+} // namespace middlesim::workload

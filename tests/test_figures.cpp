@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure-harness plumbing tests: paper reference data, report
+ * rendering, and one cheap end-to-end harness run.
+ *
+ * Full-fidelity shape checks run in the bench binaries; here we use
+ * minimal effort options and verify structure, not calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/figures.hh"
+#include "core/paper.hh"
+#include "core/report.hh"
+
+using namespace middlesim;
+using core::FigureOptions;
+using core::FigureResult;
+
+TEST(PaperData, SweepAndSeriesAreConsistent)
+{
+    const auto &sweep = core::paper::cpuSweep();
+    ASSERT_FALSE(sweep.empty());
+    EXPECT_EQ(sweep.front(), 1.0);
+    EXPECT_EQ(sweep.back(), 15.0);
+    // Every scaling series covers every sweep point.
+    for (const auto &series :
+         {core::paper::fig4Ecperf(), core::paper::fig4SpecJbb(),
+          core::paper::fig8Ecperf(), core::paper::fig8SpecJbb()}) {
+        for (double x : sweep)
+            EXPECT_GT(series.yAt(x, -1.0), 0.0) << series.name;
+    }
+}
+
+TEST(PaperData, HeadlineClaims)
+{
+    const auto &c = core::paper::claims();
+    EXPECT_NEAR(c.ecperfPeakSpeedup, 10.0, 0.5);
+    EXPECT_NEAR(c.jbbPlateauSpeedup, 7.0, 0.5);
+    EXPECT_GT(c.c2cRatioAt14, c.c2cRatioAt2);
+    EXPECT_GT(c.jbbTopLineC2cShare, c.ecperfTopLineC2cShare);
+}
+
+TEST(PaperData, Fig16Crossover)
+{
+    // The digitized reference must itself encode the crossover.
+    const auto ec = core::paper::fig16Ecperf();
+    const auto jbb = core::paper::fig16SpecJbb25();
+    EXPECT_LT(ec.yAt(8), ec.yAt(1));
+    EXPECT_GT(jbb.yAt(8), jbb.yAt(1));
+}
+
+TEST(FigureOptions, FromEnvQuick)
+{
+    setenv("MIDDLESIM_QUICK", "1", 1);
+    const auto opt = FigureOptions::fromEnv();
+    EXPECT_EQ(opt.runs, 1u);
+    EXPECT_LT(opt.timeScale, 1.0);
+    unsetenv("MIDDLESIM_QUICK");
+    setenv("MIDDLESIM_RUNS", "5", 1);
+    EXPECT_EQ(FigureOptions::fromEnv().runs, 5u);
+    unsetenv("MIDDLESIM_RUNS");
+}
+
+TEST(Report, RendersTablesAndVerdicts)
+{
+    FigureResult fig;
+    fig.id = "figXX";
+    fig.title = "test";
+    fig.table = stats::Table({"a", "b"});
+    fig.table.addRow({"1", "2"});
+    fig.checks.push_back({"always true", true, "ok"});
+    std::ostringstream os;
+    core::printFigure(fig, os);
+    EXPECT_NE(os.str().find("figXX"), std::string::npos);
+    EXPECT_NE(os.str().find("[PASS]"), std::string::npos);
+    EXPECT_NE(os.str().find("all shape checks passed"),
+              std::string::npos);
+    EXPECT_TRUE(fig.allPass());
+    fig.checks.push_back({"always false", false, "no"});
+    EXPECT_FALSE(fig.allPass());
+}
+
+TEST(FigureHarness, Fig16RunsAtMinimalEffort)
+{
+    FigureOptions opt;
+    opt.runs = 1;
+    opt.timeScale = 0.12;
+    opt.seed = 5;
+    const FigureResult fig = core::runFig16(opt);
+    EXPECT_EQ(fig.id, "fig16");
+    EXPECT_EQ(fig.measured.size(), 2u);
+    // Four sharing degrees per series.
+    EXPECT_EQ(fig.measured[0].points.size(), 4u);
+    EXPECT_EQ(fig.table.numRows(), 4u);
+    EXPECT_FALSE(fig.checks.empty());
+    for (const auto &series : fig.measured) {
+        for (const auto &p : series.points)
+            EXPECT_GT(p.y, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Scheduler, thread state, locks and pools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/program.hh"
+#include "os/scheduler.hh"
+
+using namespace middlesim;
+using exec::Lock;
+using exec::ResourcePool;
+using os::Scheduler;
+using os::ThreadState;
+
+namespace
+{
+
+/** Trivial program: tests drive the scheduler directly. */
+class NullProgram : public exec::ThreadProgram
+{
+  public:
+    exec::NextOp
+    next(exec::Burst &, sim::Tick) override
+    {
+        exec::NextOp op;
+        op.kind = exec::OpKind::Exit;
+        return op;
+    }
+};
+
+NullProgram prog;
+
+} // namespace
+
+TEST(Scheduler, FifoOrder)
+{
+    Scheduler sched(4, 4);
+    const unsigned a = sched.addThread(&prog, true);
+    const unsigned b = sched.addThread(&prog, true);
+    EXPECT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    EXPECT_EQ(sched.pickFor(1, 0, false), static_cast<int>(b));
+    EXPECT_EQ(sched.pickFor(2, 0, false), -1);
+}
+
+TEST(Scheduler, BoundThreadsOnlyOnTheirCpu)
+{
+    Scheduler sched(4, 4);
+    const unsigned t = sched.addThread(&prog, false, 2);
+    EXPECT_EQ(sched.pickFor(0, 0, false), -1);
+    EXPECT_EQ(sched.pickFor(2, 0, false), static_cast<int>(t));
+}
+
+TEST(Scheduler, AppThreadsConfinedToProcessorSet)
+{
+    Scheduler sched(4, 2); // psrset = CPUs 0-1
+    sched.addThread(&prog, true);
+    EXPECT_EQ(sched.pickFor(3, 0, false), -1);
+    EXPECT_EQ(sched.pickFor(2, 0, false), -1);
+    EXPECT_NE(sched.pickFor(1, 0, false), -1);
+}
+
+TEST(Scheduler, GcStopsAppDispatch)
+{
+    Scheduler sched(2, 2);
+    sched.addThread(&prog, true);
+    EXPECT_EQ(sched.pickFor(0, 0, true), -1);
+    const unsigned svc = sched.addThread(&prog, false, 0);
+    EXPECT_EQ(sched.pickFor(0, 0, true), static_cast<int>(svc));
+}
+
+TEST(Scheduler, YieldKeepsHomeAffinity)
+{
+    Scheduler sched(1, 1);
+    const unsigned a = sched.addThread(&prog, true);
+    const unsigned b = sched.addThread(&prog, true);
+    ASSERT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    sched.yield(a, 0);
+    // Affinity overrides FIFO: the home thread is re-picked.
+    EXPECT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    // When the home thread blocks, the other thread finally runs.
+    sched.block(a);
+    EXPECT_EQ(sched.pickFor(0, 0, false), static_cast<int>(b));
+}
+
+TEST(Scheduler, BlockAndWake)
+{
+    Scheduler sched(1, 1);
+    const unsigned a = sched.addThread(&prog, true);
+    ASSERT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    sched.block(a);
+    EXPECT_EQ(sched.thread(a).state, ThreadState::Blocked);
+    EXPECT_EQ(sched.pickFor(0, 0, false), -1);
+    sched.wake(a);
+    EXPECT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+}
+
+TEST(Scheduler, WakeFrontPreempts)
+{
+    Scheduler sched(1, 1);
+    const unsigned a = sched.addThread(&prog, true);
+    sched.addThread(&prog, true); // queued behind a
+    ASSERT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    sched.block(a);
+    sched.wake(a, /*front=*/true, 0);
+    // a re-enters at the front, ahead of the other queued thread.
+    EXPECT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+}
+
+TEST(Scheduler, TimedWaitWakesWhenDue)
+{
+    Scheduler sched(1, 1);
+    const unsigned a = sched.addThread(&prog, true);
+    ASSERT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    sched.blockUntil(a, 1000);
+    EXPECT_EQ(sched.pickFor(0, 500, false), -1);
+    EXPECT_EQ(sched.pickFor(0, 1000, false), static_cast<int>(a));
+}
+
+TEST(Scheduler, DoubleWakeIsIdempotent)
+{
+    Scheduler sched(1, 1);
+    const unsigned a = sched.addThread(&prog, true);
+    ASSERT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    sched.blockUntil(a, 1000);
+    sched.wake(a); // explicit wake before the timer
+    sched.wake(a); // no-op
+    EXPECT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    // Timer firing later must not resurrect the running thread.
+    EXPECT_EQ(sched.pickFor(0, 2000, false), -1);
+}
+
+TEST(Scheduler, AffinityPrefersLastCpu)
+{
+    Scheduler sched(2, 2);
+    const unsigned a = sched.addThread(&prog, true);
+    const unsigned b = sched.addThread(&prog, true);
+    // Establish homes: a on 0, b on 1.
+    ASSERT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    ASSERT_EQ(sched.pickFor(1, 0, false), static_cast<int>(b));
+    sched.yield(b, 0);
+    sched.yield(a, 0);
+    // Queue order is [b, a] but CPU 0 prefers its home thread a.
+    EXPECT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+}
+
+TEST(Scheduler, MigrationRequiresAging)
+{
+    Scheduler sched(2, 2, /*rechoose=*/1000);
+    const unsigned a = sched.addThread(&prog, true);
+    ASSERT_EQ(sched.pickFor(0, 0, false), static_cast<int>(a));
+    sched.yield(a, 100); // home = 0, queued at t=100
+    // CPU 1 cannot steal it before the rechoose interval...
+    EXPECT_EQ(sched.pickFor(1, 200, false), -1);
+    // ...but can afterwards.
+    EXPECT_EQ(sched.pickFor(1, 1100, false), static_cast<int>(a));
+    EXPECT_EQ(sched.thread(a).lastCpu, 1);
+}
+
+TEST(Scheduler, ModeAccountingConserved)
+{
+    Scheduler sched(2, 2);
+    sched.accountMode(0, exec::ExecMode::User, 70);
+    sched.accountMode(0, exec::ExecMode::System, 20);
+    sched.accountIdle(0, 10, false);
+    sched.accountIdle(1, 5, true);
+    sched.accountIo(1, 5);
+    const auto m0 = sched.modes(0);
+    EXPECT_EQ(m0.total(), 100u);
+    EXPECT_DOUBLE_EQ(m0.fraction(m0.user), 0.7);
+    const auto all = sched.allModes();
+    EXPECT_EQ(all.total(), 110u);
+    EXPECT_EQ(all.gcIdle, 5u);
+    EXPECT_EQ(all.io, 5u);
+    sched.resetAccounting();
+    EXPECT_EQ(sched.allModes().total(), 0u);
+}
+
+TEST(Lock, AcquireReleaseHandoff)
+{
+    Lock lock("t", 0x1000);
+    EXPECT_TRUE(lock.tryAcquire(1));
+    EXPECT_TRUE(lock.held());
+    EXPECT_FALSE(lock.tryAcquire(2));
+    lock.enqueue(2);
+    EXPECT_EQ(lock.queueLength(), 1u);
+    EXPECT_EQ(lock.release(), 2); // handoff
+    EXPECT_EQ(lock.owner(), 2);
+    EXPECT_EQ(lock.release(), -1);
+    EXPECT_FALSE(lock.held());
+    EXPECT_EQ(lock.acquires(), 2u);
+    EXPECT_EQ(lock.contendedAcquires(), 1u);
+}
+
+TEST(Lock, SpinSemantics)
+{
+    Lock lock("spin", 0x2000, /*spin=*/true);
+    EXPECT_TRUE(lock.isSpinLock());
+    EXPECT_EQ(lock.spinEnter(), 0u);
+    EXPECT_EQ(lock.spinEnter(), 1u);
+    EXPECT_EQ(lock.insideCount(), 2u);
+    lock.spinExit();
+    lock.spinExit();
+    EXPECT_EQ(lock.insideCount(), 0u);
+    lock.spinExit(); // underflow-safe
+    EXPECT_EQ(lock.insideCount(), 0u);
+    EXPECT_EQ(lock.contendedAcquires(), 1u);
+}
+
+TEST(ResourcePool, AcquireReleaseWaiters)
+{
+    ResourcePool pool("conns", 0x3000, 2);
+    EXPECT_TRUE(pool.tryAcquire());
+    EXPECT_TRUE(pool.tryAcquire());
+    EXPECT_FALSE(pool.tryAcquire());
+    EXPECT_EQ(pool.exhaustedAcquires(), 1u);
+    pool.enqueue(7);
+    // Release hands the unit to the waiter.
+    EXPECT_EQ(pool.release(), 7);
+    EXPECT_EQ(pool.available(), 0u);
+    // No waiters: the unit returns to the pool.
+    EXPECT_EQ(pool.release(), -1);
+    EXPECT_EQ(pool.available(), 1u);
+}

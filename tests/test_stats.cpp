@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the statistics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/distribution.hh"
+#include "stats/histogram.hh"
+#include "stats/series.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+using namespace middlesim::stats;
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic data set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.37;
+        if (i % 2) {
+            a.add(v);
+        } else {
+            b.add(v);
+        }
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeIntoEmpty)
+{
+    RunningStat a, b;
+    b.add(1.0);
+    b.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(Histogram, BinsAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.99);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_DOUBLE_EQ(h.binLo(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.binHi(5), 6.0);
+}
+
+TEST(Histogram, OutOfRangeClamped)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, Quantile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 10);
+    EXPECT_EQ(h.binCount(1), 10u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Log2Histogram, Buckets)
+{
+    Log2Histogram h;
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    h.add(1024);
+    EXPECT_EQ(h.bucketCount(0), 2u); // 0 and 1
+    EXPECT_EQ(h.bucketCount(1), 2u); // 2 and 3
+    EXPECT_EQ(h.bucketCount(2), 1u); // 4
+    EXPECT_EQ(h.bucketCount(10), 1u); // 1024
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(ConcentrationCurve, Shares)
+{
+    // Counts 50, 30, 15, 5 (total 100).
+    ConcentrationCurve c({5, 50, 15, 30});
+    EXPECT_EQ(c.total(), 100u);
+    EXPECT_EQ(c.numKeys(), 4u);
+    EXPECT_DOUBLE_EQ(c.maxShare(), 0.50);
+    EXPECT_DOUBLE_EQ(c.shareOfTopK(2), 0.80);
+    EXPECT_DOUBLE_EQ(c.shareOfTopK(4), 1.0);
+    EXPECT_DOUBLE_EQ(c.shareOfTopK(100), 1.0);
+    EXPECT_EQ(c.shareOfTopK(0), 0.0);
+}
+
+TEST(ConcentrationCurve, KeysForShare)
+{
+    ConcentrationCurve c({50, 30, 15, 5});
+    EXPECT_EQ(c.keysForShare(0.5), 1u);
+    EXPECT_EQ(c.keysForShare(0.51), 2u);
+    EXPECT_EQ(c.keysForShare(0.8), 2u);
+    EXPECT_EQ(c.keysForShare(1.0), 4u);
+}
+
+TEST(ConcentrationCurve, Fractions)
+{
+    ConcentrationCurve c({50, 30, 15, 5});
+    EXPECT_DOUBLE_EQ(c.shareOfTopFraction(0.25), 0.50);
+    EXPECT_DOUBLE_EQ(c.shareOfTopFraction(0.5), 0.80);
+    EXPECT_DOUBLE_EQ(c.shareOfTopFraction(1.0), 1.0);
+}
+
+TEST(KeyCounts, AddAndConcentrate)
+{
+    KeyCounts k;
+    for (int i = 0; i < 10; ++i)
+        k.add(0x1000);
+    k.add(0x2000, 5);
+    EXPECT_EQ(k.numKeys(), 2u);
+    EXPECT_EQ(k.total(), 15u);
+    EXPECT_EQ(k.countOf(0x1000), 10u);
+    EXPECT_EQ(k.countOf(0x9999), 0u);
+    const auto curve = k.concentration();
+    EXPECT_DOUBLE_EQ(curve.maxShare(), 10.0 / 15.0);
+}
+
+TEST(Series, Access)
+{
+    Series s("x");
+    s.add(1, 10);
+    s.add(2, 30);
+    s.add(3, 20);
+    EXPECT_DOUBLE_EQ(s.yAt(2), 30.0);
+    EXPECT_DOUBLE_EQ(s.yAt(99, -1.0), -1.0);
+    EXPECT_DOUBLE_EQ(s.maxY(), 30.0);
+    EXPECT_DOUBLE_EQ(s.argmaxY(), 2.0);
+}
+
+TEST(Table, PrintAndCsv)
+{
+    Table t({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("333"), std::string::npos);
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_NE(csv.str().find("a,bb"), std::string::npos);
+    EXPECT_NE(csv.str().find("333,4"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, NumFormat)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}

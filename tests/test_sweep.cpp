@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-size uniprocessor cache sweep tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/sweep.hh"
+#include "sim/rng.hh"
+
+using namespace middlesim;
+using mem::AccessType;
+using mem::SweepSimulator;
+
+TEST(Sweep, PaperConfigsSpan64KTo16M)
+{
+    const auto configs = SweepSimulator::paperSweep();
+    ASSERT_EQ(configs.size(), 9u);
+    EXPECT_EQ(configs.front().sizeBytes, 64u * 1024u);
+    EXPECT_EQ(configs.back().sizeBytes, 16u * 1024u * 1024u);
+    for (const auto &c : configs) {
+        EXPECT_EQ(c.assoc, 4u);
+        EXPECT_EQ(c.blockBytes, 64u);
+    }
+}
+
+TEST(Sweep, SplitCachesByAccessType)
+{
+    SweepSimulator sweep({{4096, 2, 64}});
+    sweep.access({0x1000, AccessType::IFetch, 0});
+    sweep.access({0x1000, AccessType::Load, 0});
+    EXPECT_EQ(sweep.icacheResults()[0].accesses, 1u);
+    EXPECT_EQ(sweep.icacheResults()[0].misses, 1u);
+    EXPECT_EQ(sweep.dcacheResults()[0].accesses, 1u);
+    EXPECT_EQ(sweep.dcacheResults()[0].misses, 1u);
+    // Second data access hits.
+    sweep.access({0x1000, AccessType::Store, 0});
+    EXPECT_EQ(sweep.dcacheResults()[0].misses, 1u);
+}
+
+TEST(Sweep, BlockStoreInstallsWithoutMiss)
+{
+    SweepSimulator sweep({{4096, 2, 64}});
+    sweep.access({0x2000, AccessType::BlockStore, 0});
+    EXPECT_EQ(sweep.dcacheResults()[0].misses, 0u);
+    EXPECT_EQ(sweep.dcacheResults()[0].accesses, 1u);
+    // Follow-up load hits the installed line.
+    sweep.access({0x2000, AccessType::Load, 0});
+    EXPECT_EQ(sweep.dcacheResults()[0].misses, 0u);
+}
+
+TEST(Sweep, LargerCachesMissLess)
+{
+    SweepSimulator sweep(SweepSimulator::paperSweep());
+    sim::Rng rng(3);
+    for (int i = 0; i < 200000; ++i) {
+        // 8 MB working set: intermediate sizes discriminate.
+        sweep.access({rng.uniform(128 * 1024) * 64,
+                      AccessType::Load, 0});
+    }
+    const auto &res = sweep.dcacheResults();
+    for (std::size_t i = 1; i < res.size(); ++i)
+        EXPECT_LE(res[i].misses, res[i - 1].misses) << i;
+    // 16 MB holds the whole set: only compulsory misses remain.
+    EXPECT_LE(res.back().misses, 128u * 1024u);
+}
+
+TEST(Sweep, MissesPer1000Instructions)
+{
+    SweepSimulator sweep({{4096, 2, 64}});
+    for (int i = 0; i < 10; ++i)
+        sweep.access({static_cast<mem::Addr>(i) * 4096 * 16,
+                      AccessType::Load, 0});
+    sweep.countInstructions(5000);
+    EXPECT_DOUBLE_EQ(sweep.dmissPer1000(0), 2.0);
+    EXPECT_DOUBLE_EQ(sweep.imissPer1000(0), 0.0);
+}
+
+TEST(Sweep, ResetCountersKeepsContents)
+{
+    SweepSimulator sweep({{4096, 2, 64}});
+    sweep.access({0x1000, AccessType::Load, 0});
+    sweep.countInstructions(100);
+    sweep.resetCounters();
+    EXPECT_EQ(sweep.instructions(), 0u);
+    EXPECT_EQ(sweep.dcacheResults()[0].accesses, 0u);
+    // Contents survive: this access hits.
+    sweep.access({0x1000, AccessType::Load, 0});
+    EXPECT_EQ(sweep.dcacheResults()[0].misses, 0u);
+}
+
+TEST(Sweep, FullResetClearsContents)
+{
+    SweepSimulator sweep({{4096, 2, 64}});
+    sweep.access({0x1000, AccessType::Load, 0});
+    sweep.reset();
+    sweep.access({0x1000, AccessType::Load, 0});
+    EXPECT_EQ(sweep.dcacheResults()[0].misses, 1u);
+}

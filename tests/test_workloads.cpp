@@ -1,0 +1,283 @@
+/**
+ * @file
+ * SPECjbb and ECperf workload model tests: construction invariants
+ * and op-stream well-formedness, driven without the full system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "jvm/jvm.hh"
+#include "os/kernel.hh"
+#include "workload/ecperf.hh"
+#include "workload/specjbb.hh"
+
+using namespace middlesim;
+
+namespace
+{
+
+jvm::JvmParams
+bigJvm()
+{
+    jvm::JvmParams p;
+    p.heap.newGenBytes = 128ULL << 20;
+    return p;
+}
+
+/**
+ * Drive a thread program for `ops` operations, checking op-stream
+ * invariants: lock acquire/release pairing, pool balance, burst
+ * sanity. Lock ops are resolved inline (single-threaded).
+ */
+struct OpStreamSummary
+{
+    std::uint64_t bursts = 0;
+    std::uint64_t txDone = 0;
+    std::uint64_t waits = 0;
+    std::uint64_t lockPairs = 0;
+    std::uint64_t poolPairs = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t refs = 0;
+};
+
+OpStreamSummary
+drive(exec::ThreadProgram &program, int ops)
+{
+    OpStreamSummary sum;
+    std::map<exec::Lock *, int> held;
+    std::map<exec::ResourcePool *, int> pooled;
+    exec::Burst burst;
+    sim::Tick now = 0;
+    for (int i = 0; i < ops; ++i) {
+        burst.clear();
+        const exec::NextOp op = program.next(burst, now);
+        now += 1000;
+        switch (op.kind) {
+          case exec::OpKind::Burst:
+            ++sum.bursts;
+            EXPECT_GT(burst.instructions, 0u);
+            sum.instructions += burst.instructions;
+            sum.refs += burst.refs.size();
+            break;
+          case exec::OpKind::LockAcquire:
+            EXPECT_NE(op.lock, nullptr);
+            if (!op.lock)
+                return sum;
+            ++held[op.lock];
+            EXPECT_EQ(held[op.lock], 1)
+                << "recursive acquire of " << op.lock->name();
+            break;
+          case exec::OpKind::LockRelease:
+            EXPECT_NE(op.lock, nullptr);
+            if (!op.lock)
+                return sum;
+            --held[op.lock];
+            EXPECT_EQ(held[op.lock], 0)
+                << "release without acquire of " << op.lock->name();
+            ++sum.lockPairs;
+            break;
+          case exec::OpKind::PoolAcquire:
+            EXPECT_NE(op.pool, nullptr);
+            if (!op.pool)
+                return sum;
+            ++pooled[op.pool];
+            break;
+          case exec::OpKind::PoolRelease:
+            EXPECT_NE(op.pool, nullptr);
+            if (!op.pool)
+                return sum;
+            --pooled[op.pool];
+            EXPECT_GE(pooled[op.pool], 0);
+            ++sum.poolPairs;
+            break;
+          case exec::OpKind::Wait:
+            ++sum.waits;
+            EXPECT_GT(op.wait, 0u);
+            break;
+          case exec::OpKind::TxDone:
+            ++sum.txDone;
+            // No locks may be held across transaction boundaries.
+            for (const auto &[lock, n] : held)
+                EXPECT_EQ(n, 0) << lock->name();
+            for (const auto &[pool, n] : pooled)
+                EXPECT_EQ(n, 0) << pool->name();
+            break;
+          case exec::OpKind::Exit:
+            ADD_FAILURE() << "worker threads never exit";
+            return sum;
+        }
+    }
+    return sum;
+}
+
+} // namespace
+
+TEST(SpecJbb, CompanyConstruction)
+{
+    jvm::Jvm vm(bigJvm(), sim::Rng(1));
+    workload::SpecJbbParams params;
+    params.warehouses = 4;
+    auto company = workload::buildSpecJbb(params, vm, sim::Rng(2));
+    ASSERT_NE(company, nullptr);
+    EXPECT_GT(company->perWarehouseBytes(), 1u << 20);
+    // Live bytes cover the item table plus all warehouses.
+    EXPECT_GE(company->liveBytes(),
+              4 * company->perWarehouseBytes());
+    auto threads = company->makeThreads();
+    EXPECT_EQ(threads.size(), 4u);
+    // Trees were pretenured; floor sealed.
+    EXPECT_GT(vm.heap().pretenuredBytes(), 40u << 20);
+}
+
+TEST(SpecJbb, LiveBytesGrowLinearlyWithWarehouses)
+{
+    std::vector<double> live;
+    for (unsigned w : {2u, 4u, 8u}) {
+        jvm::Jvm vm(bigJvm(), sim::Rng(1));
+        workload::SpecJbbParams params;
+        params.warehouses = w;
+        auto company = workload::buildSpecJbb(params, vm, sim::Rng(2));
+        live.push_back(static_cast<double>(company->liveBytes()));
+    }
+    const double slope1 = live[1] - live[0];
+    const double slope2 = (live[2] - live[1]) / 2.0;
+    EXPECT_NEAR(slope1, slope2, 0.05 * slope1);
+}
+
+TEST(SpecJbb, ThreadOpStreamIsWellFormed)
+{
+    jvm::Jvm vm(bigJvm(), sim::Rng(1));
+    workload::SpecJbbParams params;
+    params.warehouses = 2;
+    auto company = workload::buildSpecJbb(params, vm, sim::Rng(2));
+    auto threads = company->makeThreads();
+    const auto sum = drive(*threads[0], 3000);
+    EXPECT_GT(sum.txDone, 50u);
+    EXPECT_GT(sum.bursts, sum.txDone);
+    EXPECT_GT(sum.lockPairs, 0u);
+    EXPECT_EQ(sum.waits, 0u); // SPECjbb never leaves the CPU for I/O
+    EXPECT_EQ(sum.poolPairs, 0u);
+    // Average transaction path length is in a plausible range.
+    const double path = static_cast<double>(sum.instructions) /
+                        static_cast<double>(sum.txDone);
+    EXPECT_GT(path, 5000.0);
+    EXPECT_LT(path, 100000.0);
+}
+
+TEST(SpecJbb, TransactionMixRoughlyHonored)
+{
+    jvm::Jvm vm(bigJvm(), sim::Rng(1));
+    workload::SpecJbbParams params;
+    params.warehouses = 1;
+    auto company = workload::buildSpecJbb(params, vm, sim::Rng(2));
+    auto threads = company->makeThreads();
+    exec::Burst burst;
+    std::vector<int> counts(workload::jbbNumTxTypes, 0);
+    int total = 0;
+    for (int i = 0; i < 20000 && total < 1000; ++i) {
+        burst.clear();
+        const auto op = threads[0]->next(burst, 0);
+        if (op.kind == exec::OpKind::TxDone) {
+            ++counts[op.txType];
+            ++total;
+        }
+    }
+    ASSERT_EQ(total, 1000);
+    // NewOrder and Payment dominate (43.5% each).
+    EXPECT_NEAR(counts[0] / 1000.0, 0.435, 0.06);
+    EXPECT_NEAR(counts[1] / 1000.0, 0.435, 0.06);
+}
+
+TEST(SpecJbb, OutstandingOrdersStayBounded)
+{
+    jvm::Jvm vm(bigJvm(), sim::Rng(1));
+    workload::SpecJbbParams params;
+    params.warehouses = 1;
+    auto company = workload::buildSpecJbb(params, vm, sim::Rng(2));
+    auto threads = company->makeThreads();
+    exec::Burst burst;
+    for (int i = 0; i < 30000; ++i) {
+        burst.clear();
+        threads[0]->next(burst, 0);
+    }
+    // Delivery keeps the backlog near steady state.
+    EXPECT_LT(company->outstandingOrders(), 5000u);
+}
+
+TEST(Ecperf, ServerConstruction)
+{
+    jvm::Jvm vm(bigJvm(), sim::Rng(1));
+    os::KernelModel kernel;
+    workload::EcperfParams params;
+    params.injectionRate = 2;
+    auto server = workload::buildEcperf(params, vm, kernel,
+                                        /*app_cpus=*/4, sim::Rng(2));
+    ASSERT_NE(server, nullptr);
+    EXPECT_EQ(server->numWorkers(), 16u * 4u);
+    EXPECT_EQ(server->connPool().capacity(), 6u * 4u);
+    auto threads = server->makeThreads();
+    EXPECT_EQ(threads.size(), server->numWorkers());
+    EXPECT_GT(server->liveBytes(), 50u << 20);
+}
+
+TEST(Ecperf, WorkerOpStreamIsWellFormed)
+{
+    jvm::Jvm vm(bigJvm(), sim::Rng(1));
+    os::KernelModel kernel;
+    workload::EcperfParams params;
+    params.injectionRate = 2;
+    auto server = workload::buildEcperf(params, vm, kernel, 1,
+                                        sim::Rng(2));
+    auto threads = server->makeThreads();
+    const auto sum = drive(*threads[0], 4000);
+    EXPECT_GT(sum.txDone, 20u);
+    EXPECT_GT(sum.waits, 0u);     // database round trips
+    EXPECT_GT(sum.poolPairs, 0u); // connection pool usage
+    EXPECT_GT(sum.lockPairs, 0u); // netstack bracketing
+}
+
+TEST(Ecperf, BeanCacheWarmsWithTraffic)
+{
+    jvm::Jvm vm(bigJvm(), sim::Rng(1));
+    os::KernelModel kernel;
+    workload::EcperfParams params;
+    params.injectionRate = 1;
+    auto server = workload::buildEcperf(params, vm, kernel, 1,
+                                        sim::Rng(2));
+    auto threads = server->makeThreads();
+    exec::Burst burst;
+    sim::Tick now = 0;
+    for (int i = 0; i < 20000; ++i) {
+        burst.clear();
+        threads[i % threads.size()]->next(burst, now);
+        now += 2000;
+    }
+    EXPECT_GT(server->beanCache().hitRate(), 0.05);
+    EXPECT_GT(server->beanCache().occupiedBytes(), 0u);
+}
+
+TEST(Ecperf, LiveBytesSaturateWithInjectionRate)
+{
+    auto live_at = [](unsigned oir) {
+        jvm::Jvm vm(bigJvm(), sim::Rng(1));
+        os::KernelModel kernel;
+        workload::EcperfParams params;
+        params.injectionRate = oir;
+        auto server = workload::buildEcperf(params, vm, kernel, 1,
+                                            sim::Rng(2));
+        auto threads = server->makeThreads();
+        exec::Burst burst;
+        sim::Tick now = 0;
+        for (int i = 0; i < 30000; ++i) {
+            burst.clear();
+            threads[i % threads.size()]->next(burst, now);
+            now += 1000;
+        }
+        return static_cast<double>(server->liveBytes());
+    };
+    const double lo = live_at(1);
+    const double mid = live_at(4);
+    EXPECT_GT(mid, lo);
+}
