@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_scaling.dir/fig04_scaling.cpp.o"
+  "CMakeFiles/fig04_scaling.dir/fig04_scaling.cpp.o.d"
+  "fig04_scaling"
+  "fig04_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_execmodes.dir/fig05_execmodes.cpp.o"
+  "CMakeFiles/fig05_execmodes.dir/fig05_execmodes.cpp.o.d"
+  "fig05_execmodes"
+  "fig05_execmodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_execmodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cpi.dir/fig06_cpi.cpp.o"
+  "CMakeFiles/fig06_cpi.dir/fig06_cpi.cpp.o.d"
+  "fig06_cpi"
+  "fig06_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_datastall.dir/fig07_datastall.cpp.o"
+  "CMakeFiles/fig07_datastall.dir/fig07_datastall.cpp.o.d"
+  "fig07_datastall"
+  "fig07_datastall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_datastall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_gc_effect.dir/fig09_gc_effect.cpp.o"
+  "CMakeFiles/fig09_gc_effect.dir/fig09_gc_effect.cpp.o.d"
+  "fig09_gc_effect"
+  "fig09_gc_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gc_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_livemem.dir/fig11_livemem.cpp.o"
+  "CMakeFiles/fig11_livemem.dir/fig11_livemem.cpp.o.d"
+  "fig11_livemem"
+  "fig11_livemem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_livemem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_icache.dir/fig12_icache.cpp.o"
+  "CMakeFiles/fig12_icache.dir/fig12_icache.cpp.o.d"
+  "fig12_icache"
+  "fig12_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dcache.dir/fig13_dcache.cpp.o"
+  "CMakeFiles/fig13_dcache.dir/fig13_dcache.cpp.o.d"
+  "fig13_dcache"
+  "fig13_dcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

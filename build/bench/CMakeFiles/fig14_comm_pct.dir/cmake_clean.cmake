@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_comm_pct.dir/fig14_comm_pct.cpp.o"
+  "CMakeFiles/fig14_comm_pct.dir/fig14_comm_pct.cpp.o.d"
+  "fig14_comm_pct"
+  "fig14_comm_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_comm_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_comm_abs.dir/fig15_comm_abs.cpp.o"
+  "CMakeFiles/fig15_comm_abs.dir/fig15_comm_abs.cpp.o.d"
+  "fig15_comm_abs"
+  "fig15_comm_abs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_comm_abs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

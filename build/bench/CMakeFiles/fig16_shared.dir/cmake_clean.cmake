@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_shared.dir/fig16_shared.cpp.o"
+  "CMakeFiles/fig16_shared.dir/fig16_shared.cpp.o.d"
+  "fig16_shared"
+  "fig16_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

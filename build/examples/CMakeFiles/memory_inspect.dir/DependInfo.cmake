@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/memory_inspect.cpp" "examples/CMakeFiles/memory_inspect.dir/memory_inspect.cpp.o" "gcc" "examples/CMakeFiles/memory_inspect.dir/memory_inspect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/middlesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/middlesim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/middlesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/middlesim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/middlesim_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/middlesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/middlesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/middlesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_inspect.dir/memory_inspect.cpp.o"
+  "CMakeFiles/memory_inspect.dir/memory_inspect.cpp.o.d"
+  "memory_inspect"
+  "memory_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_tuning.dir/middleware_tuning.cpp.o"
+  "CMakeFiles/middleware_tuning.dir/middleware_tuning.cpp.o.d"
+  "middleware_tuning"
+  "middleware_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

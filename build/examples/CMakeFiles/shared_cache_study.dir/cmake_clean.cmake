@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_cache_study.dir/shared_cache_study.cpp.o"
+  "CMakeFiles/shared_cache_study.dir/shared_cache_study.cpp.o.d"
+  "shared_cache_study"
+  "shared_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/middlesim_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/middlesim_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/figures.cc" "src/core/CMakeFiles/middlesim_core.dir/figures.cc.o" "gcc" "src/core/CMakeFiles/middlesim_core.dir/figures.cc.o.d"
+  "/root/repo/src/core/figures2.cc" "src/core/CMakeFiles/middlesim_core.dir/figures2.cc.o" "gcc" "src/core/CMakeFiles/middlesim_core.dir/figures2.cc.o.d"
+  "/root/repo/src/core/paper.cc" "src/core/CMakeFiles/middlesim_core.dir/paper.cc.o" "gcc" "src/core/CMakeFiles/middlesim_core.dir/paper.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/middlesim_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/middlesim_core.dir/report.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/middlesim_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/middlesim_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/middlesim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/middlesim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/middlesim_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/middlesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/middlesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/middlesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/middlesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlesim_core.dir/experiment.cc.o"
+  "CMakeFiles/middlesim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/middlesim_core.dir/figures.cc.o"
+  "CMakeFiles/middlesim_core.dir/figures.cc.o.d"
+  "CMakeFiles/middlesim_core.dir/figures2.cc.o"
+  "CMakeFiles/middlesim_core.dir/figures2.cc.o.d"
+  "CMakeFiles/middlesim_core.dir/paper.cc.o"
+  "CMakeFiles/middlesim_core.dir/paper.cc.o.d"
+  "CMakeFiles/middlesim_core.dir/report.cc.o"
+  "CMakeFiles/middlesim_core.dir/report.cc.o.d"
+  "CMakeFiles/middlesim_core.dir/system.cc.o"
+  "CMakeFiles/middlesim_core.dir/system.cc.o.d"
+  "libmiddlesim_core.a"
+  "libmiddlesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

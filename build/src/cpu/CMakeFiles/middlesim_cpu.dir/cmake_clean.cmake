@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlesim_cpu.dir/core.cc.o"
+  "CMakeFiles/middlesim_cpu.dir/core.cc.o.d"
+  "libmiddlesim_cpu.a"
+  "libmiddlesim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlesim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlesim_jvm.dir/gc.cc.o"
+  "CMakeFiles/middlesim_jvm.dir/gc.cc.o.d"
+  "CMakeFiles/middlesim_jvm.dir/heap.cc.o"
+  "CMakeFiles/middlesim_jvm.dir/heap.cc.o.d"
+  "CMakeFiles/middlesim_jvm.dir/jvm.cc.o"
+  "CMakeFiles/middlesim_jvm.dir/jvm.cc.o.d"
+  "libmiddlesim_jvm.a"
+  "libmiddlesim_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlesim_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_array.cc" "src/mem/CMakeFiles/middlesim_mem.dir/cache_array.cc.o" "gcc" "src/mem/CMakeFiles/middlesim_mem.dir/cache_array.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/middlesim_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/middlesim_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/sweep.cc" "src/mem/CMakeFiles/middlesim_mem.dir/sweep.cc.o" "gcc" "src/mem/CMakeFiles/middlesim_mem.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/middlesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/middlesim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlesim_mem.dir/cache_array.cc.o"
+  "CMakeFiles/middlesim_mem.dir/cache_array.cc.o.d"
+  "CMakeFiles/middlesim_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/middlesim_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/middlesim_mem.dir/sweep.cc.o"
+  "CMakeFiles/middlesim_mem.dir/sweep.cc.o.d"
+  "libmiddlesim_mem.a"
+  "libmiddlesim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlesim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

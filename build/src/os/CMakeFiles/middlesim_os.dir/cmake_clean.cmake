@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlesim_os.dir/kernel.cc.o"
+  "CMakeFiles/middlesim_os.dir/kernel.cc.o.d"
+  "CMakeFiles/middlesim_os.dir/scheduler.cc.o"
+  "CMakeFiles/middlesim_os.dir/scheduler.cc.o.d"
+  "libmiddlesim_os.a"
+  "libmiddlesim_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlesim_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlesim_sim.dir/log.cc.o"
+  "CMakeFiles/middlesim_sim.dir/log.cc.o.d"
+  "CMakeFiles/middlesim_sim.dir/rng.cc.o"
+  "CMakeFiles/middlesim_sim.dir/rng.cc.o.d"
+  "libmiddlesim_sim.a"
+  "libmiddlesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmiddlesim_sim.a"
+)

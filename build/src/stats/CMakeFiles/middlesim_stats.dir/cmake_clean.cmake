@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlesim_stats.dir/distribution.cc.o"
+  "CMakeFiles/middlesim_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/middlesim_stats.dir/histogram.cc.o"
+  "CMakeFiles/middlesim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/middlesim_stats.dir/series.cc.o"
+  "CMakeFiles/middlesim_stats.dir/series.cc.o.d"
+  "CMakeFiles/middlesim_stats.dir/summary.cc.o"
+  "CMakeFiles/middlesim_stats.dir/summary.cc.o.d"
+  "CMakeFiles/middlesim_stats.dir/table.cc.o"
+  "CMakeFiles/middlesim_stats.dir/table.cc.o.d"
+  "libmiddlesim_stats.a"
+  "libmiddlesim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlesim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/beancache.cc" "src/workload/CMakeFiles/middlesim_workload.dir/beancache.cc.o" "gcc" "src/workload/CMakeFiles/middlesim_workload.dir/beancache.cc.o.d"
+  "/root/repo/src/workload/codepath.cc" "src/workload/CMakeFiles/middlesim_workload.dir/codepath.cc.o" "gcc" "src/workload/CMakeFiles/middlesim_workload.dir/codepath.cc.o.d"
+  "/root/repo/src/workload/ecperf.cc" "src/workload/CMakeFiles/middlesim_workload.dir/ecperf.cc.o" "gcc" "src/workload/CMakeFiles/middlesim_workload.dir/ecperf.cc.o.d"
+  "/root/repo/src/workload/objecttree.cc" "src/workload/CMakeFiles/middlesim_workload.dir/objecttree.cc.o" "gcc" "src/workload/CMakeFiles/middlesim_workload.dir/objecttree.cc.o.d"
+  "/root/repo/src/workload/specjbb.cc" "src/workload/CMakeFiles/middlesim_workload.dir/specjbb.cc.o" "gcc" "src/workload/CMakeFiles/middlesim_workload.dir/specjbb.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/workload/CMakeFiles/middlesim_workload.dir/zipf.cc.o" "gcc" "src/workload/CMakeFiles/middlesim_workload.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jvm/CMakeFiles/middlesim_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/middlesim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/middlesim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/middlesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/middlesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlesim_workload.dir/beancache.cc.o"
+  "CMakeFiles/middlesim_workload.dir/beancache.cc.o.d"
+  "CMakeFiles/middlesim_workload.dir/codepath.cc.o"
+  "CMakeFiles/middlesim_workload.dir/codepath.cc.o.d"
+  "CMakeFiles/middlesim_workload.dir/ecperf.cc.o"
+  "CMakeFiles/middlesim_workload.dir/ecperf.cc.o.d"
+  "CMakeFiles/middlesim_workload.dir/objecttree.cc.o"
+  "CMakeFiles/middlesim_workload.dir/objecttree.cc.o.d"
+  "CMakeFiles/middlesim_workload.dir/specjbb.cc.o"
+  "CMakeFiles/middlesim_workload.dir/specjbb.cc.o.d"
+  "CMakeFiles/middlesim_workload.dir/zipf.cc.o"
+  "CMakeFiles/middlesim_workload.dir/zipf.cc.o.d"
+  "libmiddlesim_workload.a"
+  "libmiddlesim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlesim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

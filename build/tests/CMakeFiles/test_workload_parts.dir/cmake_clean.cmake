@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_parts.dir/test_workload_parts.cpp.o"
+  "CMakeFiles/test_workload_parts.dir/test_workload_parts.cpp.o.d"
+  "test_workload_parts"
+  "test_workload_parts.pdb"
+  "test_workload_parts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
