@@ -7,7 +7,8 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return middlesim::core::figureMain(middlesim::core::runFig07);
+    return middlesim::core::figureMain(middlesim::core::runFig07,
+                                       argc, argv);
 }

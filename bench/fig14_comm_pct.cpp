@@ -7,7 +7,8 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return middlesim::core::figureMain(middlesim::core::runFig14);
+    return middlesim::core::figureMain(middlesim::core::runFig14,
+                                       argc, argv);
 }

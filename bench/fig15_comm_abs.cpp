@@ -7,7 +7,8 @@
 #include "core/report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return middlesim::core::figureMain(middlesim::core::runFig15);
+    return middlesim::core::figureMain(middlesim::core::runFig15,
+                                       argc, argv);
 }

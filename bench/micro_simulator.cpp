@@ -9,8 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/experiment.hh"
 #include "core/system.hh"
+#include "mem/block_meta.hh"
 #include "mem/hierarchy.hh"
 #include "mem/sweep.hh"
 #include "sim/rng.hh"
@@ -83,6 +86,50 @@ BM_SweepAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SweepAccess);
+
+void
+BM_SweepAccessClustered(benchmark::State &state)
+{
+    // Spatially-local reference stream: repeated and sequential
+    // blocks dominate, as in real instruction/data traces. Exercises
+    // the last-block memo and hit-below early-out of the inclusion
+    // fast path.
+    mem::SweepSimulator sweep(mem::SweepSimulator::paperSweep());
+    sim::Rng rng(7);
+    mem::Addr cursor = 0;
+    for (auto _ : state) {
+        const auto move = rng.uniform(100);
+        if (move >= 90)
+            cursor = rng.uniform(1u << 17) * 64;
+        else if (move >= 40)
+            cursor += 64;
+        sweep.access({cursor + rng.uniform(64),
+                      mem::AccessType::Load, 0});
+    }
+}
+BENCHMARK(BM_SweepAccessClustered);
+
+void
+BM_BlockMetaLookup(benchmark::State &state)
+{
+    // The per-block metadata lookup on the L2 miss path: a warm
+    // table, mostly lookups of already-present blocks.
+    mem::BlockMetaTable table;
+    sim::Rng rng(7);
+    std::vector<mem::Addr> keys;
+    keys.reserve(100000);
+    for (unsigned i = 0; i < 100000; ++i) {
+        keys.push_back(
+            static_cast<mem::Addr>(rng.uniform(1u << 22)) * 64);
+        table[keys.back()].everCachedMask |= 1;
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        mem::LineMeta &meta = table[keys[i++ % keys.size()]];
+        benchmark::DoNotOptimize(&meta);
+    }
+}
+BENCHMARK(BM_BlockMetaLookup);
 
 void
 BM_ZipfSample(benchmark::State &state)

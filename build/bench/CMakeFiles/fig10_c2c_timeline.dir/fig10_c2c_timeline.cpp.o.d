@@ -216,10 +216,10 @@ bench/CMakeFiles/fig10_c2c_timeline.dir/fig10_c2c_timeline.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/mem/hierarchy.hh /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/bus.hh \
- /root/repo/src/mem/cache_array.hh /root/repo/src/mem/coherence.hh \
- /root/repo/src/mem/memref.hh /root/repo/src/sim/config.hh \
+ /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/block_meta.hh \
+ /usr/include/c++/12/limits /root/repo/src/mem/memref.hh \
+ /root/repo/src/mem/bus.hh /root/repo/src/mem/cache_array.hh \
+ /root/repo/src/mem/coherence.hh /root/repo/src/sim/config.hh \
  /root/repo/src/sim/log.hh /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/mem/latency.hh \

@@ -222,12 +222,12 @@ bench/CMakeFiles/micro_simulator.dir/micro_simulator.cpp.o: \
  /root/repo/src/cpu/cpistats.hh /root/repo/src/sim/ticks.hh \
  /root/repo/src/cpu/storebuffer.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/mem/hierarchy.hh /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/bus.hh \
+ /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/block_meta.hh \
+ /root/repo/src/mem/memref.hh /root/repo/src/mem/bus.hh \
  /root/repo/src/mem/cache_array.hh /root/repo/src/mem/coherence.hh \
- /root/repo/src/mem/memref.hh /root/repo/src/sim/config.hh \
- /root/repo/src/sim/log.hh /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/sim/config.hh /root/repo/src/sim/log.hh \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/mem/latency.hh \
  /root/repo/src/mem/stats.hh /root/repo/src/mem/sweep.hh \
  /root/repo/src/stats/distribution.hh /root/repo/src/sim/rng.hh \

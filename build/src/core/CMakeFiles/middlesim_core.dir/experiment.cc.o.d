@@ -214,10 +214,10 @@ src/core/CMakeFiles/middlesim_core.dir/experiment.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/mem/hierarchy.hh /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/bus.hh \
- /root/repo/src/mem/cache_array.hh /root/repo/src/mem/coherence.hh \
- /root/repo/src/mem/memref.hh /root/repo/src/sim/config.hh \
+ /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/block_meta.hh \
+ /usr/include/c++/12/limits /root/repo/src/mem/memref.hh \
+ /root/repo/src/mem/bus.hh /root/repo/src/mem/cache_array.hh \
+ /root/repo/src/mem/coherence.hh /root/repo/src/sim/config.hh \
  /root/repo/src/sim/log.hh /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/mem/latency.hh \
@@ -232,4 +232,16 @@ src/core/CMakeFiles/middlesim_core.dir/experiment.cc.o: \
  /root/repo/src/os/thread.hh /root/repo/src/workload/ecperf.hh \
  /root/repo/src/workload/beancache.hh /root/repo/src/workload/codepath.hh \
  /root/repo/src/workload/zipf.hh /root/repo/src/workload/specjbb.hh \
- /root/repo/src/workload/objecttree.hh
+ /root/repo/src/workload/objecttree.hh /root/repo/src/sim/threadpool.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread

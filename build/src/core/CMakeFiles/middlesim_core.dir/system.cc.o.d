@@ -208,21 +208,21 @@ src/core/CMakeFiles/middlesim_core.dir/system.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/mem/hierarchy.hh /usr/include/c++/12/unordered_map \
+ /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/block_meta.hh \
+ /usr/include/c++/12/limits /root/repo/src/mem/memref.hh \
+ /root/repo/src/mem/bus.hh /root/repo/src/mem/cache_array.hh \
+ /root/repo/src/mem/coherence.hh /root/repo/src/sim/config.hh \
+ /root/repo/src/sim/log.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/mem/latency.hh \
+ /root/repo/src/mem/stats.hh /root/repo/src/mem/sweep.hh \
+ /root/repo/src/stats/distribution.hh /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/bus.hh \
- /root/repo/src/mem/cache_array.hh /root/repo/src/mem/coherence.hh \
- /root/repo/src/mem/memref.hh /root/repo/src/sim/config.hh \
- /root/repo/src/sim/log.hh /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/mem/latency.hh \
- /root/repo/src/mem/stats.hh /root/repo/src/mem/sweep.hh \
- /root/repo/src/stats/distribution.hh /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/rng.hh \
  /root/repo/src/exec/program.hh /root/repo/src/jvm/jvm.hh \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \

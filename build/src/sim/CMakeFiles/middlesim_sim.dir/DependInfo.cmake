@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/log.cc" "src/sim/CMakeFiles/middlesim_sim.dir/log.cc.o" "gcc" "src/sim/CMakeFiles/middlesim_sim.dir/log.cc.o.d"
   "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/middlesim_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/middlesim_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/threadpool.cc" "src/sim/CMakeFiles/middlesim_sim.dir/threadpool.cc.o" "gcc" "src/sim/CMakeFiles/middlesim_sim.dir/threadpool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/middlesim_sim.dir/log.cc.o.d"
   "CMakeFiles/middlesim_sim.dir/rng.cc.o"
   "CMakeFiles/middlesim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/middlesim_sim.dir/threadpool.cc.o"
+  "CMakeFiles/middlesim_sim.dir/threadpool.cc.o.d"
   "libmiddlesim_sim.a"
   "libmiddlesim_sim.pdb"
 )

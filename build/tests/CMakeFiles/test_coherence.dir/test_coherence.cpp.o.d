@@ -293,14 +293,13 @@ tests/CMakeFiles/test_coherence.dir/test_coherence.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/mem/hierarchy.hh /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/bus.hh \
+ /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/block_meta.hh \
+ /root/repo/src/mem/memref.hh /root/repo/src/mem/bus.hh \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/ticks.hh /root/repo/src/mem/cache_array.hh \
- /root/repo/src/mem/coherence.hh /root/repo/src/mem/memref.hh \
- /root/repo/src/sim/config.hh /root/repo/src/sim/log.hh \
- /root/repo/src/mem/latency.hh /root/repo/src/mem/stats.hh \
- /root/repo/src/mem/sweep.hh /root/repo/src/stats/distribution.hh \
- /root/repo/src/sim/rng.hh
+ /root/repo/src/mem/coherence.hh /root/repo/src/sim/config.hh \
+ /root/repo/src/sim/log.hh /root/repo/src/mem/latency.hh \
+ /root/repo/src/mem/stats.hh /root/repo/src/mem/sweep.hh \
+ /root/repo/src/stats/distribution.hh /root/repo/src/sim/rng.hh

@@ -299,10 +299,10 @@ tests/CMakeFiles/test_cpu.dir/test_cpu.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/mem/hierarchy.hh /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/bus.hh \
+ /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/block_meta.hh \
+ /root/repo/src/mem/memref.hh /root/repo/src/mem/bus.hh \
  /root/repo/src/mem/cache_array.hh /root/repo/src/mem/coherence.hh \
- /root/repo/src/mem/memref.hh /root/repo/src/sim/config.hh \
- /root/repo/src/sim/log.hh /root/repo/src/mem/latency.hh \
- /root/repo/src/mem/stats.hh /root/repo/src/mem/sweep.hh \
- /root/repo/src/stats/distribution.hh /root/repo/src/sim/rng.hh
+ /root/repo/src/sim/config.hh /root/repo/src/sim/log.hh \
+ /root/repo/src/mem/latency.hh /root/repo/src/mem/stats.hh \
+ /root/repo/src/mem/sweep.hh /root/repo/src/stats/distribution.hh \
+ /root/repo/src/sim/rng.hh

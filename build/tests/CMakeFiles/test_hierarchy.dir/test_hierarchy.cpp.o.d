@@ -298,10 +298,9 @@ tests/CMakeFiles/test_hierarchy.dir/test_hierarchy.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/ticks.hh /root/repo/src/mem/hierarchy.hh \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/mem/block_meta.hh /root/repo/src/mem/memref.hh \
  /root/repo/src/mem/cache_array.hh /root/repo/src/mem/coherence.hh \
- /root/repo/src/mem/memref.hh /root/repo/src/sim/config.hh \
- /root/repo/src/sim/log.hh /root/repo/src/mem/latency.hh \
- /root/repo/src/mem/stats.hh /root/repo/src/mem/sweep.hh \
- /root/repo/src/stats/distribution.hh /root/repo/src/sim/rng.hh
+ /root/repo/src/sim/config.hh /root/repo/src/sim/log.hh \
+ /root/repo/src/mem/latency.hh /root/repo/src/mem/stats.hh \
+ /root/repo/src/mem/sweep.hh /root/repo/src/stats/distribution.hh \
+ /root/repo/src/sim/rng.hh

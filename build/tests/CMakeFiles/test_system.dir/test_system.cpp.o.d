@@ -300,19 +300,18 @@ tests/CMakeFiles/test_system.dir/test_system.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/mem/hierarchy.hh /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/bus.hh \
+ /root/repo/src/mem/hierarchy.hh /root/repo/src/mem/block_meta.hh \
+ /root/repo/src/mem/memref.hh /root/repo/src/mem/bus.hh \
  /root/repo/src/mem/cache_array.hh /root/repo/src/mem/coherence.hh \
- /root/repo/src/mem/memref.hh /root/repo/src/sim/config.hh \
- /root/repo/src/sim/log.hh /root/repo/src/mem/latency.hh \
- /root/repo/src/mem/stats.hh /root/repo/src/mem/sweep.hh \
- /root/repo/src/stats/distribution.hh /root/repo/src/sim/rng.hh \
- /root/repo/src/exec/program.hh /root/repo/src/jvm/jvm.hh \
- /root/repo/src/jvm/gc.hh /root/repo/src/jvm/heap.hh \
- /root/repo/src/stats/summary.hh /root/repo/src/os/kernel.hh \
- /root/repo/src/os/scheduler.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/os/modes.hh \
- /root/repo/src/os/thread.hh /root/repo/src/workload/ecperf.hh \
- /root/repo/src/workload/beancache.hh /root/repo/src/workload/codepath.hh \
- /root/repo/src/workload/zipf.hh /root/repo/src/workload/specjbb.hh \
- /root/repo/src/workload/objecttree.hh
+ /root/repo/src/sim/config.hh /root/repo/src/sim/log.hh \
+ /root/repo/src/mem/latency.hh /root/repo/src/mem/stats.hh \
+ /root/repo/src/mem/sweep.hh /root/repo/src/stats/distribution.hh \
+ /root/repo/src/sim/rng.hh /root/repo/src/exec/program.hh \
+ /root/repo/src/jvm/jvm.hh /root/repo/src/jvm/gc.hh \
+ /root/repo/src/jvm/heap.hh /root/repo/src/stats/summary.hh \
+ /root/repo/src/os/kernel.hh /root/repo/src/os/scheduler.hh \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/os/modes.hh /root/repo/src/os/thread.hh \
+ /root/repo/src/workload/ecperf.hh /root/repo/src/workload/beancache.hh \
+ /root/repo/src/workload/codepath.hh /root/repo/src/workload/zipf.hh \
+ /root/repo/src/workload/specjbb.hh /root/repo/src/workload/objecttree.hh

@@ -4,6 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_block_meta[1]_include.cmake")
 include("/root/repo/build/tests/test_cache_array[1]_include.cmake")
 include("/root/repo/build/tests/test_coherence[1]_include.cmake")
 include("/root/repo/build/tests/test_cpu[1]_include.cmake")
@@ -11,6 +12,7 @@ include("/root/repo/build/tests/test_exec_config[1]_include.cmake")
 include("/root/repo/build/tests/test_figures[1]_include.cmake")
 include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
 include("/root/repo/build/tests/test_jvm[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_rng[1]_include.cmake")
 include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
 include("/root/repo/build/tests/test_stats[1]_include.cmake")

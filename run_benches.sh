@@ -1,12 +1,61 @@
 #!/bin/bash
-for b in fig04_scaling fig05_execmodes fig06_cpi fig07_datastall \
+# Runs every figure bench twice — serial (--jobs=1) and with the
+# default job count — timing each, then writes BENCH_runner.json
+# mapping figure -> {baseline_s, serial_s, parallel_s}. baseline_s is
+# copied from BENCH_baseline.json (pre-optimization serial timings)
+# when that file is present. Pass MIDDLESIM_QUICK=1 for a fast smoke
+# run.
+
+figures="fig04_scaling fig05_execmodes fig06_cpi fig07_datastall \
          fig08_c2c_ratio fig09_gc_effect fig10_c2c_timeline \
          fig11_livemem fig12_icache fig13_dcache fig14_comm_pct \
-         fig15_comm_abs fig16_shared; do
+         fig15_comm_abs fig16_shared"
+
+json="BENCH_runner.json"
+echo "{" > "$json"
+first=1
+
+# Seconds (fractional) elapsed running "$@".
+time_run() {
+    local start end
+    start=$(date +%s%N)
+    "$@" > /tmp/middlesim_bench_out.txt 2>&1
+    local rc=$?
+    end=$(date +%s%N)
+    elapsed_s="$(( (end - start) / 1000000000 )).$(printf '%03d' \
+        $(( ((end - start) / 1000000) % 1000 )))"
+    return $rc
+}
+
+# Pre-optimization serial seconds for "$1" from BENCH_baseline.json.
+baseline_for() {
+    [ -f BENCH_baseline.json ] || { echo null; return; }
+    local v
+    v=$(grep -o "\"$1\": *[0-9.]*" BENCH_baseline.json |
+        grep -o '[0-9.]*$')
+    echo "${v:-null}"
+}
+
+for b in $figures; do
     echo "################ $b"
-    ./build/bench/$b
+    time_run ./build/bench/"$b" --jobs=1
+    serial="$elapsed_s"
+    cat /tmp/middlesim_bench_out.txt
+    time_run ./build/bench/"$b"
+    parallel="$elapsed_s"
+    baseline=$(baseline_for "$b")
+    echo "--- wall clock: baseline ${baseline}s," \
+         "serial ${serial}s, parallel ${parallel}s"
     echo
+    [ $first -eq 0 ] && echo "," >> "$json"
+    first=0
+    printf '  "%s": {"baseline_s": %s, "serial_s": %s, "parallel_s": %s}' \
+        "$b" "$baseline" "$serial" "$parallel" >> "$json"
 done
+echo >> "$json"
+echo "}" >> "$json"
+echo "wrote $json"
+
 echo "################ ablation_mechanisms"
 ./build/bench/ablation_mechanisms
 echo

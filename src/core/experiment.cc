@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include "sim/log.hh"
+#include "sim/threadpool.hh"
 
 namespace middlesim::core
 {
@@ -126,17 +127,32 @@ runExperiment(const ExperimentSpec &spec)
     return measure(*system, spec, workload);
 }
 
+ExperimentSpec
+repeatedSpec(const ExperimentSpec &spec, unsigned r)
+{
+    ExperimentSpec s = spec;
+    s.seed = spec.seed + 0x1000 * (r + 1);
+    return s;
+}
+
+std::vector<RunResult>
+runGrid(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<RunResult> results(specs.size());
+    sim::ThreadPool::global().parallelFor(
+        specs.size(),
+        [&](std::size_t i) { results[i] = runExperiment(specs[i]); });
+    return results;
+}
+
 std::vector<RunResult>
 runRepeated(const ExperimentSpec &spec, unsigned runs)
 {
-    std::vector<RunResult> results;
-    results.reserve(runs);
-    for (unsigned r = 0; r < runs; ++r) {
-        ExperimentSpec s = spec;
-        s.seed = spec.seed + 0x1000 * (r + 1);
-        results.push_back(runExperiment(s));
-    }
-    return results;
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(runs);
+    for (unsigned r = 0; r < runs; ++r)
+        specs.push_back(repeatedSpec(spec, r));
+    return runGrid(specs);
 }
 
 stats::RunningStat

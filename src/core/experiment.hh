@@ -126,6 +126,24 @@ RunResult measure(System &system, const ExperimentSpec &spec,
 /** buildSystem + measure. */
 RunResult runExperiment(const ExperimentSpec &spec);
 
+/**
+ * The spec of repetition r (0-based) of an experiment: identical to
+ * `spec` except for a deterministically perturbed seed. runRepeated()
+ * and every figure harness derive their seeds through this single
+ * function, so serial and parallel execution agree bit-for-bit.
+ */
+ExperimentSpec repeatedSpec(const ExperimentSpec &spec, unsigned r);
+
+/**
+ * Run every spec as an isolated simulation (its own System, its own
+ * Rng stream) and return the results in submission order. Points are
+ * fanned out across the process-wide thread pool (MIDDLESIM_JOBS or
+ * --jobs=N; default hardware concurrency); because each run is
+ * self-contained and seed-derived, the results are byte-identical to
+ * serial execution for any job count.
+ */
+std::vector<RunResult> runGrid(const std::vector<ExperimentSpec> &specs);
+
 /** Run `runs` seeds of the same spec (variability methodology). */
 std::vector<RunResult> runRepeated(const ExperimentSpec &spec,
                                    unsigned runs);

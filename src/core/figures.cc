@@ -90,15 +90,33 @@ scalingSweep(const FigureOptions &opt)
     if (it != cache.end())
         return it->second;
 
-    std::vector<ScalingPoint> sweep;
+    // Flatten every (cpu count, workload, repetition) into one grid
+    // so independent points fan out across the thread pool together;
+    // seeds come from repeatedSpec(), so the regrouped results are
+    // identical to per-point runRepeated() calls.
+    std::vector<ExperimentSpec> specs;
     for (double cpus_d : paper::cpuSweep()) {
         const auto cpus = static_cast<unsigned>(cpus_d);
+        for (unsigned r = 0; r < opt.runs; ++r) {
+            specs.push_back(repeatedSpec(
+                scalingSpec(WorkloadKind::Ecperf, cpus, opt), r));
+        }
+        for (unsigned r = 0; r < opt.runs; ++r) {
+            specs.push_back(repeatedSpec(
+                scalingSpec(WorkloadKind::SpecJbb, cpus, opt), r));
+        }
+    }
+    const std::vector<RunResult> results = runGrid(specs);
+
+    std::vector<ScalingPoint> sweep;
+    auto next = results.begin();
+    for (double cpus_d : paper::cpuSweep()) {
         ScalingPoint point;
-        point.cpus = cpus;
-        point.ecperf = runRepeated(
-            scalingSpec(WorkloadKind::Ecperf, cpus, opt), opt.runs);
-        point.jbb = runRepeated(
-            scalingSpec(WorkloadKind::SpecJbb, cpus, opt), opt.runs);
+        point.cpus = static_cast<unsigned>(cpus_d);
+        point.ecperf.assign(next, next + opt.runs);
+        next += opt.runs;
+        point.jbb.assign(next, next + opt.runs);
+        next += opt.runs;
         sweep.push_back(std::move(point));
     }
     return cache.emplace(key, std::move(sweep)).first->second;

@@ -5,12 +5,15 @@
  */
 
 #include <cmath>
+#include <future>
+#include <memory>
 #include <sstream>
 
 #include "core/figures.hh"
 #include "core/paper.hh"
 #include "mem/sweep.hh"
 #include "sim/log.hh"
+#include "sim/threadpool.hh"
 
 namespace middlesim::core
 {
@@ -101,16 +104,21 @@ runSweepPoint(WorkloadKind kind, unsigned scale,
     system->memory().setSweepTap(nullptr);
 }
 
-/** Shared-cache measurement for Figure 16. */
-double
-sharedCacheMpki(WorkloadKind kind, unsigned scale,
+/** Shared-cache configuration point for Figure 16. */
+ExperimentSpec
+sharedCacheSpec(WorkloadKind kind, unsigned scale,
                 unsigned cpus_per_l2, const FigureOptions &opt)
 {
     ExperimentSpec spec = baseSpec(kind, 8, opt);
     spec.totalCpus = 8;
     spec.cpusPerL2 = cpus_per_l2;
     spec.scale = scale;
-    const RunResult r = runExperiment(spec);
+    return spec;
+}
+
+double
+dataMpki(const RunResult &r)
+{
     return 1000.0 * static_cast<double>(r.cache.dataMisses) /
            static_cast<double>(r.cpi.instructions);
 }
@@ -133,14 +141,25 @@ runFig11(const FigureOptions &opt)
     const std::vector<unsigned> ec_scales = {1, 2, 4, 6, 10, 15, 20,
                                              30, 40};
 
+    // Every scale point is an independent run: fan them all out.
+    sim::ThreadPool &pool = sim::ThreadPool::global();
+    std::vector<std::future<double>> jbb_f, ec_f;
+    for (std::size_t i = 0; i < jbb_scales.size(); ++i) {
+        const unsigned js = jbb_scales[i], es = ec_scales[i];
+        jbb_f.push_back(pool.submit([js, opt] {
+            return liveAfterGc(WorkloadKind::SpecJbb, js, opt);
+        }));
+        ec_f.push_back(pool.submit([es, opt] {
+            return liveAfterGc(WorkloadKind::Ecperf, es, opt);
+        }));
+    }
+
     Series jbb("specjbb"), ec("ecperf");
     Table table({"scale", "specjbb(MB)", "ecperf(MB)", "paper-jbb",
                  "paper-ec"});
     for (std::size_t i = 0; i < jbb_scales.size(); ++i) {
-        const double j =
-            liveAfterGc(WorkloadKind::SpecJbb, jbb_scales[i], opt);
-        const double e =
-            liveAfterGc(WorkloadKind::Ecperf, ec_scales[i], opt);
+        const double j = jbb_f[i].get();
+        const double e = ec_f[i].get();
         jbb.add(jbb_scales[i], j);
         ec.add(ec_scales[i], e);
         table.addRow({fmt(jbb_scales[i], 0), fmt(j, 0), fmt(e, 0),
@@ -206,10 +225,25 @@ sweepSet(const FigureOptions &opt)
     cached = std::make_unique<SweepSet>();
     cached_seed = opt.seed;
     cached_scale = scale_key;
-    runSweepPoint(WorkloadKind::Ecperf, 8, opt, cached->ecperf);
-    runSweepPoint(WorkloadKind::SpecJbb, 1, opt, cached->jbb1);
-    runSweepPoint(WorkloadKind::SpecJbb, 10, opt, cached->jbb10);
-    runSweepPoint(WorkloadKind::SpecJbb, 25, opt, cached->jbb25);
+    // The four uniprocessor sweeps are independent simulations; run
+    // them concurrently (each owns its SweepSimulator).
+    sim::ThreadPool &pool = sim::ThreadPool::global();
+    SweepSet &set = *cached;
+    std::vector<std::future<void>> points;
+    points.push_back(pool.submit([&set, opt] {
+        runSweepPoint(WorkloadKind::Ecperf, 8, opt, set.ecperf);
+    }));
+    points.push_back(pool.submit([&set, opt] {
+        runSweepPoint(WorkloadKind::SpecJbb, 1, opt, set.jbb1);
+    }));
+    points.push_back(pool.submit([&set, opt] {
+        runSweepPoint(WorkloadKind::SpecJbb, 10, opt, set.jbb10);
+    }));
+    points.push_back(pool.submit([&set, opt] {
+        runSweepPoint(WorkloadKind::SpecJbb, 25, opt, set.jbb25);
+    }));
+    for (auto &f : points)
+        f.get();
     return *cached;
 }
 
@@ -373,28 +407,44 @@ commFootprint(WorkloadKind kind, unsigned cpus, unsigned scale,
     return point;
 }
 
-CommPoint &
-jbbComm(const FigureOptions &opt)
+struct CommSet
 {
-    static std::unique_ptr<CommPoint> cached;
+    CommPoint jbb;
+    CommPoint ec;
+};
+
+/** Both communication-tracking runs, computed concurrently once. */
+CommSet &
+commSet(const FigureOptions &opt)
+{
+    static std::unique_ptr<CommSet> cached;
     if (!cached) {
-        cached = std::make_unique<CommPoint>(
-            commFootprint(WorkloadKind::SpecJbb, 15, 15, opt));
+        cached = std::make_unique<CommSet>();
+        sim::ThreadPool &pool = sim::ThreadPool::global();
+        auto jbb_f = pool.submit([opt] {
+            return commFootprint(WorkloadKind::SpecJbb, 15, 15, opt);
+        });
+        // The paper binds the ECperf application server to 8 of the
+        // 16 processors and filters to those.
+        auto ec_f = pool.submit([opt] {
+            return commFootprint(WorkloadKind::Ecperf, 8, 8, opt);
+        });
+        cached->jbb = jbb_f.get();
+        cached->ec = ec_f.get();
     }
     return *cached;
 }
 
 CommPoint &
+jbbComm(const FigureOptions &opt)
+{
+    return commSet(opt).jbb;
+}
+
+CommPoint &
 ecComm(const FigureOptions &opt)
 {
-    static std::unique_ptr<CommPoint> cached;
-    if (!cached) {
-        // The paper binds the ECperf application server to 8 of the
-        // 16 processors and filters to those.
-        cached = std::make_unique<CommPoint>(
-            commFootprint(WorkloadKind::Ecperf, 8, 8, opt));
-    }
-    return *cached;
+    return commSet(opt).ec;
 }
 
 } // namespace
@@ -516,14 +566,23 @@ runFig16(const FigureOptions &opt)
     fig.title =
         "Data miss rate with 1 MB L2s shared by 1/2/4/8 processors";
 
+    const std::vector<unsigned> shares = {1, 2, 4, 8};
+    std::vector<ExperimentSpec> specs;
+    for (unsigned share : shares) {
+        specs.push_back(
+            sharedCacheSpec(WorkloadKind::Ecperf, 8, share, opt));
+        specs.push_back(
+            sharedCacheSpec(WorkloadKind::SpecJbb, 25, share, opt));
+    }
+    const std::vector<RunResult> results = runGrid(specs);
+
     Series ec("ecperf"), jbb("specjbb-25");
     Table table({"cpus/L2", "ecperf", "specjbb-25", "paper-ec",
                  "paper-jbb25"});
-    for (unsigned share : {1u, 2u, 4u, 8u}) {
-        const double e =
-            sharedCacheMpki(WorkloadKind::Ecperf, 8, share, opt);
-        const double j =
-            sharedCacheMpki(WorkloadKind::SpecJbb, 25, share, opt);
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+        const unsigned share = shares[i];
+        const double e = dataMpki(results[2 * i]);
+        const double j = dataMpki(results[2 * i + 1]);
         ec.add(share, e);
         jbb.add(share, j);
         table.addRow({fmt(share, 0), fmt(e, 2), fmt(j, 2),

@@ -1,6 +1,11 @@
 #include "core/report.hh"
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
+
+#include "sim/log.hh"
+#include "sim/threadpool.hh"
 
 namespace middlesim::core
 {
@@ -20,8 +25,24 @@ printFigure(const FigureResult &fig, std::ostream &os)
 }
 
 int
-figureMain(FigureResult (*harness)(const FigureOptions &))
+figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
+           char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            const long jobs = std::strtol(arg.c_str() + 7, nullptr, 10);
+            if (jobs < 1)
+                fatal("figureMain: bad flag '", arg,
+                           "' (want --jobs=N with N >= 1)");
+            sim::ThreadPool::setGlobalJobs(
+                static_cast<unsigned>(jobs));
+        } else {
+            fatal("figureMain: unknown flag '", arg,
+                       "' (supported: --jobs=N)");
+        }
+    }
+
     const FigureOptions opt = FigureOptions::fromEnv();
     const FigureResult fig = harness(opt);
     printFigure(fig, std::cout);

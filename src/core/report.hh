@@ -20,8 +20,13 @@ void printFigure(const FigureResult &fig, std::ostream &os);
  * Standard main() body for the per-figure bench binaries: runs the
  * harness with options from the environment, prints the report, and
  * returns 0 when every shape check passes (1 otherwise).
+ *
+ * When argv is forwarded, `--jobs=N` selects the worker count of the
+ * process-wide thread pool (equivalent to MIDDLESIM_JOBS=N; the flag
+ * wins). `--jobs=1` forces fully serial execution.
  */
-int figureMain(FigureResult (*harness)(const FigureOptions &));
+int figureMain(FigureResult (*harness)(const FigureOptions &),
+               int argc = 0, char **argv = nullptr);
 
 } // namespace middlesim::core
 

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Flat open-addressed per-block metadata table for the hierarchy.
+ *
+ * The coherent hierarchy keeps one small record per 64-byte block it
+ * has ever seen: removal-cause masks for miss classification, the set
+ * of L2 groups currently holding the block (so snoops probe only
+ * caches that can answer), and a touched flag for communication
+ * tracking. This table is on the L2 miss/evict/snoop path of every
+ * simulated reference, so it is a single flat array with linear
+ * probing — one cache line touched per lookup in the common case, no
+ * per-access allocation — rather than a node-based unordered_map.
+ *
+ * Keys are block-aligned addresses. Entries are never individually
+ * erased (blocks keep their cold/coherence history for the lifetime
+ * of the run); the whole table is rebuilt only on invalidateAll().
+ */
+
+#ifndef MEM_BLOCK_META_HH
+#define MEM_BLOCK_META_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "mem/memref.hh"
+
+namespace middlesim::mem
+{
+
+/** Per-block removal-cause + presence metadata, one bit per L2 group. */
+struct LineMeta
+{
+    /** Groups that cached the block at some point (cold-miss filter). */
+    std::uint32_t everCachedMask = 0;
+    /** Groups whose copy was last removed by an invalidation. */
+    std::uint32_t invalidatedMask = 0;
+    /** Groups holding a valid copy right now (snoop filter). */
+    std::uint32_t presenceMask = 0;
+    /** LineMeta::Touched etc. */
+    std::uint32_t flags = 0;
+
+    static constexpr std::uint32_t Touched = 1u << 0;
+
+    /** Widest group index the masks can represent. */
+    static constexpr unsigned maxGroups =
+        std::numeric_limits<std::uint32_t>::digits;
+};
+
+/** Open-addressed Addr -> LineMeta map (linear probing, pow2 size). */
+class BlockMetaTable
+{
+  public:
+    explicit BlockMetaTable(std::size_t initial_slots = 1u << 18)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_slots)
+            cap <<= 1;
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+    }
+
+    /** Find-or-insert; the reference is valid until the next insert. */
+    LineMeta &
+    operator[](Addr block)
+    {
+        Slot &slot = probe(block);
+        if (slot.key == kEmpty) {
+            if (size_ + 1 > (slots_.size() * 7) / 10) {
+                grow();
+                Slot &fresh = probe(block);
+                fresh.key = block;
+                ++size_;
+                return fresh.meta;
+            }
+            slot.key = block;
+            ++size_;
+        }
+        return slot.meta;
+    }
+
+    /** Lookup without insertion; nullptr when absent. */
+    LineMeta *
+    find(Addr block)
+    {
+        Slot &slot = probe(block);
+        return slot.key == kEmpty ? nullptr : &slot.meta;
+    }
+
+    /** Number of blocks with metadata. */
+    std::size_t size() const { return size_; }
+
+    /** Drop every entry. */
+    void
+    clear()
+    {
+        for (Slot &slot : slots_)
+            slot = Slot{};
+        size_ = 0;
+    }
+
+    /** Visit every present entry (order unspecified). */
+    template <typename F>
+    void
+    forEach(F &&fn)
+    {
+        for (Slot &slot : slots_) {
+            if (slot.key != kEmpty)
+                fn(slot.key, slot.meta);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Addr key = kEmpty;
+        LineMeta meta;
+    };
+
+    /** Blocks are block-aligned, so an all-ones key can't collide. */
+    static constexpr Addr kEmpty = ~static_cast<Addr>(0);
+
+    static std::size_t
+    hash(Addr block)
+    {
+        // Fibonacci hashing over the block number (low 6 bits are 0).
+        return static_cast<std::size_t>(
+            (block >> 6) * 0x9E3779B97F4A7C15ULL);
+    }
+
+    Slot &
+    probe(Addr block)
+    {
+        std::size_t i = hash(block) & mask_;
+        for (;;) {
+            Slot &slot = slots_[i];
+            if (slot.key == block || slot.key == kEmpty)
+                return slot;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old;
+        old.swap(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        mask_ = slots_.size() - 1;
+        for (const Slot &slot : old) {
+            if (slot.key == kEmpty)
+                continue;
+            std::size_t i = hash(slot.key) & mask_;
+            while (slots_[i].key != kEmpty)
+                i = (i + 1) & mask_;
+            slots_[i] = slot;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace middlesim::mem
+
+#endif // MEM_BLOCK_META_HH

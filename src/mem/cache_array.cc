@@ -18,67 +18,7 @@ CacheArray::CacheArray(const sim::CacheParams &params)
     setShift_ = std::bit_width(
         static_cast<std::uint64_t>(params_.blockBytes)) - 1;
     lines_.resize(numSets_ * params_.assoc);
-}
-
-std::uint64_t
-CacheArray::setIndex(Addr addr) const
-{
-    return (addr >> setShift_) & (numSets_ - 1);
-}
-
-CacheLine *
-CacheArray::find(Addr addr)
-{
-    const Addr block = blockAddr(addr);
-    const std::uint64_t base = setIndex(addr) * params_.assoc;
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        CacheLine &line = lines_[base + w];
-        if (line.valid() && line.tag == block)
-            return &line;
-    }
-    return nullptr;
-}
-
-const CacheLine *
-CacheArray::find(Addr addr) const
-{
-    return const_cast<CacheArray *>(this)->find(addr);
-}
-
-CacheLine &
-CacheArray::victim(Addr addr)
-{
-    const std::uint64_t base = setIndex(addr) * params_.assoc;
-    CacheLine *lru = &lines_[base];
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        CacheLine &line = lines_[base + w];
-        if (!line.valid())
-            return line;
-        if (line.lru < lru->lru)
-            lru = &line;
-    }
-    return *lru;
-}
-
-void
-CacheArray::install(CacheLine &frame, Addr addr, CoherenceState state)
-{
-    sim_assert(state != CoherenceState::Invalid,
-               "installing an invalid line");
-    frame.tag = blockAddr(addr);
-    frame.state = state;
-    touch(frame);
-}
-
-void
-CacheArray::installStreaming(CacheLine &frame, Addr addr,
-                             CoherenceState state)
-{
-    sim_assert(state != CoherenceState::Invalid,
-               "installing an invalid line");
-    frame.tag = blockAddr(addr);
-    frame.state = state;
-    frame.lru = 0;
+    mruWay_.assign(numSets_, 0);
 }
 
 void
@@ -86,6 +26,7 @@ CacheArray::invalidateAll()
 {
     for (auto &line : lines_)
         line = CacheLine();
+    mruWay_.assign(numSets_, 0);
     lruClock_ = 0;
 }
 

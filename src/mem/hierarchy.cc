@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include <bit>
+
 #include "sim/log.hh"
 
 namespace middlesim::mem
@@ -10,8 +12,12 @@ Hierarchy::Hierarchy(const sim::MachineConfig &config,
     : cfg_(config), lat_(latency), bus_(bus_contention)
 {
     cfg_.validate();
-    if (cfg_.numL2s() > 32)
-        fatal("hierarchy: at most 32 L2 groups supported");
+    // The removal-cause and presence masks carry one bit per L2
+    // group; beyond that width classification would silently alias.
+    if (cfg_.numL2s() > LineMeta::maxGroups) {
+        fatal("hierarchy: ", cfg_.numL2s(), " L2 groups exceed the ",
+              LineMeta::maxGroups, "-bit per-block metadata masks");
+    }
 
     l1i_.reserve(cfg_.totalCpus);
     l1d_.reserve(cfg_.totalCpus);
@@ -23,8 +29,6 @@ Hierarchy::Hierarchy(const sim::MachineConfig &config,
     l2_.reserve(cfg_.numL2s());
     for (unsigned g = 0; g < cfg_.numL2s(); ++g)
         l2_.emplace_back(cfg_.l2);
-
-    meta_.reserve(1u << 20);
 }
 
 AccessResult
@@ -100,7 +104,7 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
 
     ++st.l2Accesses;
     if (trackComm_)
-        touched_.insert(block);
+        recordTouched(meta_[block]);
 
     if (CacheLine *line = l2.find(ref.addr)) {
         if (!want_write || canWrite(line->state)) {
@@ -109,11 +113,16 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
             return {lat_.l2Hit, ServedBy::L2, MissClass::None};
         }
         // Ownership upgrade: we hold S or O data; invalidate peers.
-        for (unsigned g = 0; g < l2_.size(); ++g) {
-            if (g == group)
-                continue;
-            if (CacheLine *peer = l2_[g].find(ref.addr))
-                invalidateForRemoteWrite(g, *peer);
+        LineMeta &meta = meta_[block];
+        std::uint32_t peers =
+            meta.presenceMask & ~(1u << group);
+        while (peers) {
+            const unsigned g =
+                static_cast<unsigned>(std::countr_zero(peers));
+            peers &= peers - 1;
+            CacheLine *peer = l2_[g].find(ref.addr);
+            sim_assert(peer, "presence mask out of sync (upgrade)");
+            invalidateForRemoteWrite(g, *peer, meta);
         }
         const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
         line->state = CoherenceState::Modified;
@@ -124,18 +133,22 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
     }
 
     // L2 miss: snoop peers for an owner; handle peer state changes.
-    const MissClass mclass = classifyMiss(block, group);
+    // The presence mask narrows the snoop to caches actually holding
+    // the block instead of probing every L2 on the bus.
+    LineMeta &meta = meta_[block];
+    const MissClass mclass = classifyMiss(meta, group);
     bool peer_supplied = false;
-    for (unsigned g = 0; g < l2_.size(); ++g) {
-        if (g == group)
-            continue;
+    std::uint32_t peers = meta.presenceMask & ~(1u << group);
+    while (peers) {
+        const unsigned g =
+            static_cast<unsigned>(std::countr_zero(peers));
+        peers &= peers - 1;
         CacheLine *peer = l2_[g].find(ref.addr);
-        if (!peer)
-            continue;
+        sim_assert(peer, "presence mask out of sync (snoop)");
         if (isOwner(peer->state))
             peer_supplied = true;
         if (want_write) {
-            invalidateForRemoteWrite(g, *peer);
+            invalidateForRemoteWrite(g, *peer, meta);
         } else {
             peer->state = peerAfterGetS(peer->state);
         }
@@ -191,6 +204,7 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
     l2.install(victim, ref.addr,
                want_write ? CoherenceState::Modified
                           : CoherenceState::Shared);
+    meta.presenceMask |= 1u << group;
 
     return {latency, served, mclass};
 }
@@ -205,7 +219,7 @@ Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
 
     ++st.l2Accesses;
     if (trackComm_)
-        touched_.insert(block);
+        recordTouched(meta_[block]);
 
     if (CacheLine *line = l2.find(ref.addr)) {
         if (canWrite(line->state)) {
@@ -215,11 +229,15 @@ Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
         }
         // Shared or owned: invalidate peers, upgrade in place. The
         // whole line is overwritten, so no data moves.
-        for (unsigned g = 0; g < l2_.size(); ++g) {
-            if (g == group)
-                continue;
-            if (CacheLine *peer = l2_[g].find(ref.addr))
-                invalidateForRemoteWrite(g, *peer);
+        LineMeta &meta = meta_[block];
+        std::uint32_t peers = meta.presenceMask & ~(1u << group);
+        while (peers) {
+            const unsigned g =
+                static_cast<unsigned>(std::countr_zero(peers));
+            peers &= peers - 1;
+            CacheLine *peer = l2_[g].find(ref.addr);
+            sim_assert(peer, "presence mask out of sync (blockstore)");
+            invalidateForRemoteWrite(g, *peer, meta);
         }
         const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
         line->state = CoherenceState::Modified;
@@ -229,27 +247,31 @@ Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
 
     // Not present: claim the line without fetching. A peer's dirty
     // copy is dropped (it is wholly overwritten), not copied back.
-    for (unsigned g = 0; g < l2_.size(); ++g) {
-        if (g == group)
-            continue;
-        if (CacheLine *peer = l2_[g].find(ref.addr))
-            invalidateForRemoteWrite(g, *peer);
+    LineMeta &meta = meta_[block];
+    std::uint32_t peers = meta.presenceMask & ~(1u << group);
+    while (peers) {
+        const unsigned g =
+            static_cast<unsigned>(std::countr_zero(peers));
+        peers &= peers - 1;
+        CacheLine *peer = l2_[g].find(ref.addr);
+        sim_assert(peer, "presence mask out of sync (blockstore claim)");
+        invalidateForRemoteWrite(g, *peer, meta);
     }
     const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
-    meta_[block].everCachedMask |= 1u << group;
-    meta_[block].invalidatedMask &= ~(1u << group);
+    meta.everCachedMask |= 1u << group;
+    meta.invalidatedMask &= ~(1u << group);
 
     CacheLine &victim = l2.victim(ref.addr);
     if (victim.valid())
         evictLine(group, victim, ref.cpu, now);
     l2.installStreaming(victim, ref.addr, CoherenceState::Modified);
+    meta.presenceMask |= 1u << group;
     return {lat_.l2Hit + queue, ServedBy::L2, MissClass::None};
 }
 
 MissClass
-Hierarchy::classifyMiss(Addr block, unsigned group)
+Hierarchy::classifyMiss(LineMeta &meta, unsigned group)
 {
-    LineMeta &meta = meta_[block];
     const std::uint32_t bit = 1u << group;
     MissClass mclass;
     if (!(meta.everCachedMask & bit)) {
@@ -265,6 +287,15 @@ Hierarchy::classifyMiss(Addr block, unsigned group)
 }
 
 void
+Hierarchy::recordTouched(LineMeta &meta)
+{
+    if (!(meta.flags & LineMeta::Touched)) {
+        meta.flags |= LineMeta::Touched;
+        ++touchedCount_;
+    }
+}
+
+void
 Hierarchy::evictLine(unsigned group, CacheLine &victim, unsigned req_cpu,
                      sim::Tick now)
 {
@@ -273,17 +304,20 @@ Hierarchy::evictLine(unsigned group, CacheLine &victim, unsigned req_cpu,
         bus_.acquire(now, lat_.busOccupancy);
     }
     // Record replacement (not invalidation) as the removal cause.
-    auto it = meta_.find(victim.tag);
-    if (it != meta_.end())
-        it->second.invalidatedMask &= ~(1u << group);
+    LineMeta *meta = meta_.find(victim.tag);
+    sim_assert(meta, "evicting a line with no metadata");
+    meta->invalidatedMask &= ~(1u << group);
+    meta->presenceMask &= ~(1u << group);
     backInvalidateL1s(group, victim.tag);
     victim.state = CoherenceState::Invalid;
 }
 
 void
-Hierarchy::invalidateForRemoteWrite(unsigned group, CacheLine &line)
+Hierarchy::invalidateForRemoteWrite(unsigned group, CacheLine &line,
+                                    LineMeta &meta)
 {
-    meta_[line.tag].invalidatedMask |= 1u << group;
+    meta.invalidatedMask |= 1u << group;
+    meta.presenceMask &= ~(1u << group);
     backInvalidateL1s(group, line.tag);
     line.state = CoherenceState::Invalid;
 }
@@ -337,7 +371,10 @@ void
 Hierarchy::resetCommunicationTracking()
 {
     c2cPerLine_.reset();
-    touched_.clear();
+    touchedCount_ = 0;
+    meta_.forEach([](Addr, LineMeta &meta) {
+        meta.flags &= ~LineMeta::Touched;
+    });
 }
 
 void
@@ -379,7 +416,17 @@ Hierarchy::invalidateAll()
         c.invalidateAll();
     for (auto &c : l2_)
         c.invalidateAll();
+    // Drop all removal-cause and presence metadata (subsequent misses
+    // classify as cold again) but keep communication-tracking state,
+    // which is reset only by resetCommunicationTracking().
+    std::vector<Addr> touched;
+    meta_.forEach([&](Addr block, LineMeta &meta) {
+        if (meta.flags & LineMeta::Touched)
+            touched.push_back(block);
+    });
     meta_.clear();
+    for (Addr block : touched)
+        meta_[block].flags = LineMeta::Touched;
 }
 
 } // namespace middlesim::mem

@@ -25,10 +25,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "mem/block_meta.hh"
 #include "mem/bus.hh"
 #include "mem/cache_array.hh"
 #include "mem/latency.hh"
@@ -99,7 +98,7 @@ class Hierarchy
     const stats::KeyCounts &c2cPerLine() const { return c2cPerLine_; }
 
     /** Distinct lines referenced at L2 level since tracking reset. */
-    std::uint64_t touchedLines() const { return touched_.size(); }
+    std::uint64_t touchedLines() const { return touchedCount_; }
 
     /** Clear communication-tracking state (counts + touched set). */
     void resetCommunicationTracking();
@@ -153,18 +152,14 @@ class Hierarchy
     const LatencyModel &latency() const { return lat_; }
 
   private:
-    /** Per-block removal-cause metadata, one bit per L2 group. */
-    struct LineMeta
-    {
-        std::uint32_t everCachedMask = 0;
-        std::uint32_t invalidatedMask = 0;
-    };
-
     AccessResult l2Access(const MemRef &ref, sim::Tick now,
                           bool is_instr, bool want_write);
 
     /** Classify an L2 miss for group g and update metadata. */
-    MissClass classifyMiss(Addr block, unsigned group);
+    MissClass classifyMiss(LineMeta &meta, unsigned group);
+
+    /** Record a distinct touched line (communication tracking). */
+    void recordTouched(LineMeta &meta);
 
     /** Block-initializing store: install M without a data fetch. */
     AccessResult l2BlockStore(const MemRef &ref, sim::Tick now);
@@ -174,7 +169,8 @@ class Hierarchy
                    sim::Tick now);
 
     /** Invalidate a block in group g due to a remote write. */
-    void invalidateForRemoteWrite(unsigned group, CacheLine &line);
+    void invalidateForRemoteWrite(unsigned group, CacheLine &line,
+                                  LineMeta &meta);
 
     /** Remove the block from the L1s of every CPU in group g. */
     void backInvalidateL1s(unsigned group, Addr block);
@@ -188,12 +184,12 @@ class Hierarchy
     std::vector<CacheArray> l2_;  // per group
     std::vector<CacheStats> stats_; // per CPU
 
-    std::unordered_map<Addr, LineMeta> meta_;
+    BlockMetaTable meta_;
     std::vector<Region> regions_;
 
     bool trackComm_ = false;
     stats::KeyCounts c2cPerLine_;
-    std::unordered_set<Addr> touched_;
+    std::uint64_t touchedCount_ = 0;
 
     std::unique_ptr<TimelineSampler> timeline_;
     SweepSimulator *sweepTap_ = nullptr;

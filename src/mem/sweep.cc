@@ -3,15 +3,42 @@
 namespace middlesim::mem
 {
 
-SweepSimulator::SweepSimulator(const std::vector<sim::CacheParams> &configs)
+namespace
 {
-    icaches_.reserve(configs.size());
-    dcaches_.reserve(configs.size());
-    for (const auto &params : configs) {
-        icaches_.emplace_back(params);
-        dcaches_.emplace_back(params);
-        ires_.push_back({params, 0, 0});
-        dres_.push_back({params, 0, 0});
+
+/**
+ * An inclusion chain needs identical block size and associativity and
+ * set counts that divide each successor's (set refinement); LRU then
+ * guarantees each cache's contents are a subset of every larger one's.
+ */
+bool
+isInclusionChain(const std::vector<sim::CacheParams> &configs)
+{
+    for (std::size_t i = 1; i < configs.size(); ++i) {
+        const auto &prev = configs[i - 1];
+        const auto &cur = configs[i];
+        if (cur.blockBytes != prev.blockBytes ||
+            cur.assoc != prev.assoc ||
+            cur.numSets() < prev.numSets() ||
+            cur.numSets() % prev.numSets() != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+SweepSimulator::SweepSimulator(const std::vector<sim::CacheParams> &configs)
+    : inclusionChain_(isInclusionChain(configs))
+{
+    for (Bank *bank : {&ibank_, &dbank_}) {
+        bank->caches.reserve(configs.size());
+        for (const auto &params : configs) {
+            bank->caches.emplace_back(params);
+            bank->results.push_back({params, 0, 0});
+        }
+        bank->lastLines.assign(configs.size(), nullptr);
     }
 }
 
@@ -25,16 +52,58 @@ SweepSimulator::paperSweep()
 }
 
 void
-SweepSimulator::accessBank(std::vector<CacheArray> &bank,
-                           std::vector<SweepResult> &results, Addr addr)
+SweepSimulator::accessBank(Bank &bank, Addr addr, bool count_misses)
 {
-    for (std::size_t i = 0; i < bank.size(); ++i) {
-        CacheArray &cache = bank[i];
-        ++results[i].accesses;
+    ++bank.accesses;
+    const std::size_t n = bank.caches.size();
+
+    if (inclusionChain_) {
+        const Addr block =
+            n ? bank.caches[0].blockAddr(addr) : addr;
+        if (block == bank.lastBlock) {
+            // Same block as the previous reference in this bank:
+            // nothing was displaced in between, so every memoized
+            // line pointer is still current — touch and done.
+            for (std::size_t i = 0; i < n; ++i)
+                bank.caches[i].touch(*bank.lastLines[i]);
+            return;
+        }
+        bool hit = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            CacheArray &cache = bank.caches[i];
+            if (hit) {
+                // Inclusion: a hit below implies a hit here; only
+                // the LRU clock needs updating.
+                CacheLine *line = cache.find(addr);
+                sim_assert(line, "sweep inclusion violated");
+                cache.touch(*line);
+                bank.lastLines[i] = line;
+                continue;
+            }
+            if (CacheLine *line = cache.find(addr)) {
+                cache.touch(*line);
+                bank.lastLines[i] = line;
+                hit = true;
+                continue;
+            }
+            if (count_misses)
+                ++bank.results[i].misses;
+            CacheLine &frame = cache.victim(addr);
+            cache.install(frame, addr, CoherenceState::Shared);
+            bank.lastLines[i] = &frame;
+        }
+        bank.lastBlock = block;
+        return;
+    }
+
+    // Generic configurations: independent per-config walk.
+    for (std::size_t i = 0; i < n; ++i) {
+        CacheArray &cache = bank.caches[i];
         if (CacheLine *line = cache.find(addr)) {
             cache.touch(*line);
         } else {
-            ++results[i].misses;
+            if (count_misses)
+                ++bank.results[i].misses;
             CacheLine &frame = cache.victim(addr);
             cache.install(frame, addr, CoherenceState::Shared);
         }
@@ -45,57 +114,70 @@ void
 SweepSimulator::access(const MemRef &ref)
 {
     if (ref.type == AccessType::IFetch) {
-        accessBank(icaches_, ires_, ref.addr);
-    } else if (ref.type == AccessType::BlockStore) {
-        // Installs without a fetch: counted as an access, never a miss.
-        for (std::size_t i = 0; i < dcaches_.size(); ++i) {
-            CacheArray &cache = dcaches_[i];
-            ++dres_[i].accesses;
-            if (CacheLine *line = cache.find(ref.addr)) {
-                cache.touch(*line);
-            } else {
-                CacheLine &frame = cache.victim(ref.addr);
-                cache.install(frame, ref.addr, CoherenceState::Shared);
-            }
-        }
+        accessBank(ibank_, ref.addr, /*count_misses=*/true);
     } else {
-        accessBank(dcaches_, dres_, ref.addr);
+        // Block-initializing stores install without a fetch: counted
+        // as an access, never a miss.
+        accessBank(dbank_, ref.addr,
+                   /*count_misses=*/ref.type != AccessType::BlockStore);
     }
+}
+
+const std::vector<SweepResult> &
+SweepSimulator::syncedResults(const Bank &bank) const
+{
+    for (auto &r : bank.results)
+        r.accesses = bank.accesses;
+    return bank.results;
+}
+
+const std::vector<SweepResult> &
+SweepSimulator::icacheResults() const
+{
+    return syncedResults(ibank_);
+}
+
+const std::vector<SweepResult> &
+SweepSimulator::dcacheResults() const
+{
+    return syncedResults(dbank_);
 }
 
 double
 SweepSimulator::imissPer1000(std::size_t i) const
 {
-    return ires_.at(i).missesPer1000(instructions_);
+    return icacheResults().at(i).missesPer1000(instructions_);
 }
 
 double
 SweepSimulator::dmissPer1000(std::size_t i) const
 {
-    return dres_.at(i).missesPer1000(instructions_);
+    return dcacheResults().at(i).missesPer1000(instructions_);
 }
 
 void
 SweepSimulator::resetCounters()
 {
-    for (auto &r : ires_)
-        r = {r.params, 0, 0};
-    for (auto &r : dres_)
-        r = {r.params, 0, 0};
+    for (Bank *bank : {&ibank_, &dbank_}) {
+        for (auto &r : bank->results)
+            r = {r.params, 0, 0};
+        bank->accesses = 0;
+    }
     instructions_ = 0;
 }
 
 void
 SweepSimulator::reset()
 {
-    for (auto &c : icaches_)
-        c.invalidateAll();
-    for (auto &c : dcaches_)
-        c.invalidateAll();
-    for (auto &r : ires_)
-        r = {r.params, 0, 0};
-    for (auto &r : dres_)
-        r = {r.params, 0, 0};
+    for (Bank *bank : {&ibank_, &dbank_}) {
+        for (auto &c : bank->caches)
+            c.invalidateAll();
+        for (auto &r : bank->results)
+            r = {r.params, 0, 0};
+        bank->accesses = 0;
+        bank->lastBlock = kNoBlock;
+        bank->lastLines.assign(bank->caches.size(), nullptr);
+    }
     instructions_ = 0;
 }
 

@@ -13,6 +13,18 @@
  * loads/stores/atomics to the D-bank. There is no coherence (one
  * processor) and stores allocate (write-back, write-allocate), which
  * is the conventional configuration for miss-ratio sweeps.
+ *
+ * Fast path: when the configurations form an inclusion chain — same
+ * block size, same associativity, set counts that successively divide
+ * each other (the paper sweep does: sizes double) — LRU set-refinement
+ * inclusion guarantees that a hit in a smaller cache is a hit in every
+ * larger one. The per-reference walk therefore goes smallest to
+ * largest and, after the first hit, only updates LRU clocks in the
+ * remaining caches; and because every access leaves a line pointer per
+ * configuration behind, a repeated reference to the same block (very
+ * common in instruction streams) skips tag search entirely. Miss
+ * counts are bit-identical to the naive per-configuration walk (see
+ * tests/test_sweep.cpp).
  */
 
 #ifndef MEM_SWEEP_HH
@@ -62,13 +74,16 @@ class SweepSimulator
 
     std::uint64_t instructions() const { return instructions_; }
 
-    const std::vector<SweepResult> &icacheResults() const { return ires_; }
-    const std::vector<SweepResult> &dcacheResults() const { return dres_; }
+    const std::vector<SweepResult> &icacheResults() const;
+    const std::vector<SweepResult> &dcacheResults() const;
 
     /** Misses per 1000 instructions for config i, instruction side. */
     double imissPer1000(std::size_t i) const;
     /** Misses per 1000 instructions for config i, data side. */
     double dmissPer1000(std::size_t i) const;
+
+    /** True when the inclusion fast path is active for these configs. */
+    bool inclusionChain() const { return inclusionChain_; }
 
     /** Clear caches and counters. */
     void reset();
@@ -77,13 +92,34 @@ class SweepSimulator
     void resetCounters();
 
   private:
-    static void accessBank(std::vector<CacheArray> &bank,
-                           std::vector<SweepResult> &results, Addr addr);
+    /** One side (I or D) of the split sweep. */
+    struct Bank
+    {
+        std::vector<CacheArray> caches; // smallest to largest
+        /** Per-config miss counts; accesses synced lazily. */
+        mutable std::vector<SweepResult> results;
+        /** Accesses are identical across configs: one counter. */
+        std::uint64_t accesses = 0;
+        /** Memo of the previous reference's block and lines. */
+        Addr lastBlock = kNoBlock;
+        std::vector<CacheLine *> lastLines;
+    };
 
-    std::vector<CacheArray> icaches_;
-    std::vector<CacheArray> dcaches_;
-    std::vector<SweepResult> ires_;
-    std::vector<SweepResult> dres_;
+    static constexpr Addr kNoBlock = ~static_cast<Addr>(0);
+
+    /**
+     * Feed one reference through a bank. `count_misses` is false for
+     * block-initializing stores, which install without a data fetch
+     * and are counted as accesses but never as misses.
+     */
+    void accessBank(Bank &bank, Addr addr, bool count_misses);
+
+    /** Sync the lazily-maintained access counters into results. */
+    const std::vector<SweepResult> &syncedResults(const Bank &b) const;
+
+    Bank ibank_;
+    Bank dbank_;
+    bool inclusionChain_ = false;
     std::uint64_t instructions_ = 0;
 };
 

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Open-addressed per-block metadata table tests (the coherence
+ * hot-path replacement for unordered_map/set in mem::Hierarchy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/block_meta.hh"
+#include "sim/rng.hh"
+
+using namespace middlesim;
+using mem::BlockMetaTable;
+using mem::LineMeta;
+
+TEST(BlockMeta, InsertFindAndMutate)
+{
+    BlockMetaTable table;
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.find(0x1000), nullptr);
+
+    LineMeta &meta = table[0x1000];
+    EXPECT_EQ(table.size(), 1u);
+    meta.everCachedMask |= 0x5;
+    meta.presenceMask |= 0x1;
+
+    LineMeta *found = table.find(0x1000);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->everCachedMask, 0x5u);
+    EXPECT_EQ(found->presenceMask, 0x1u);
+    // operator[] of an existing key returns the same slot.
+    EXPECT_EQ(&table[0x1000], found);
+}
+
+TEST(BlockMeta, FindNeverInserts)
+{
+    BlockMetaTable table;
+    table[64];
+    table.find(128);
+    table.find(~static_cast<mem::Addr>(0) - 63);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(BlockMeta, GrowsPastInitialCapacityWithoutLosingEntries)
+{
+    // Force several rehashes and mirror against unordered_map.
+    BlockMetaTable table(16);
+    std::unordered_map<mem::Addr, std::uint32_t> mirror;
+    sim::Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+        const mem::Addr block = rng.uniform(20000) * 64;
+        const auto bit =
+            static_cast<std::uint32_t>(1u << rng.uniform(32));
+        table[block].everCachedMask |= bit;
+        mirror[block] |= bit;
+    }
+    EXPECT_EQ(table.size(), mirror.size());
+    for (const auto &[block, mask] : mirror) {
+        LineMeta *meta = table.find(block);
+        ASSERT_NE(meta, nullptr) << block;
+        EXPECT_EQ(meta->everCachedMask, mask) << block;
+    }
+}
+
+TEST(BlockMeta, ForEachVisitsEveryEntryOnce)
+{
+    BlockMetaTable table;
+    for (mem::Addr block = 0; block < 100 * 64; block += 64)
+        table[block].flags |= LineMeta::Touched;
+    std::size_t visits = 0;
+    table.forEach([&](mem::Addr block, LineMeta &meta) {
+        EXPECT_EQ(block % 64, 0u);
+        EXPECT_TRUE(meta.flags & LineMeta::Touched);
+        ++visits;
+    });
+    EXPECT_EQ(visits, 100u);
+}
+
+TEST(BlockMeta, ClearEmptiesTheTable)
+{
+    BlockMetaTable table;
+    table[0x40].presenceMask = 1;
+    table.clear();
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.find(0x40), nullptr);
+    // Reinsertion after clear starts fresh.
+    EXPECT_EQ(table[0x40].presenceMask, 0u);
+}

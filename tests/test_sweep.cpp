@@ -1,9 +1,13 @@
 /**
  * @file
- * Multi-size uniprocessor cache sweep tests.
+ * Multi-size uniprocessor cache sweep tests, including the
+ * equivalence proof-by-test of the inclusion fast path against a
+ * naive per-configuration reference simulation.
  */
 
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "mem/sweep.hh"
 #include "sim/rng.hh"
@@ -11,6 +15,89 @@
 using namespace middlesim;
 using mem::AccessType;
 using mem::SweepSimulator;
+
+namespace
+{
+
+/** Reference model: every configuration simulated independently. */
+struct NaiveBank
+{
+    std::vector<mem::CacheArray> caches;
+    std::vector<std::uint64_t> misses;
+    std::uint64_t accesses = 0;
+
+    explicit NaiveBank(const std::vector<sim::CacheParams> &configs)
+        : misses(configs.size(), 0)
+    {
+        for (const auto &params : configs)
+            caches.emplace_back(params);
+    }
+
+    void
+    access(mem::Addr addr, bool count_misses)
+    {
+        ++accesses;
+        for (std::size_t i = 0; i < caches.size(); ++i) {
+            mem::CacheArray &cache = caches[i];
+            if (mem::CacheLine *line = cache.find(addr)) {
+                cache.touch(*line);
+            } else {
+                if (count_misses)
+                    ++misses[i];
+                mem::CacheLine &frame = cache.victim(addr);
+                cache.install(frame, addr,
+                              mem::CoherenceState::Shared);
+            }
+        }
+    }
+};
+
+/** Reference model of the full split sweep. */
+struct NaiveSweep
+{
+    NaiveBank ibank;
+    NaiveBank dbank;
+
+    explicit NaiveSweep(const std::vector<sim::CacheParams> &configs)
+        : ibank(configs), dbank(configs)
+    {
+    }
+
+    void
+    access(const mem::MemRef &ref)
+    {
+        if (ref.type == AccessType::IFetch)
+            ibank.access(ref.addr, true);
+        else
+            dbank.access(ref.addr,
+                         ref.type != AccessType::BlockStore);
+    }
+};
+
+/** A clustered trace: repeats, streaming runs, random far jumps. */
+mem::MemRef
+nextRef(sim::Rng &rng, mem::Addr &cursor)
+{
+    const auto move = rng.uniform(100);
+    if (move < 35) {
+        // Stay in the current block (different byte offset).
+    } else if (move < 75) {
+        cursor += 64; // sequential run
+    } else {
+        cursor = rng.uniform(32 * 1024) * 64; // far jump
+    }
+    const auto kind = rng.uniform(100);
+    AccessType type = AccessType::Load;
+    if (kind < 35)
+        type = AccessType::IFetch;
+    else if (kind < 45)
+        type = AccessType::Store;
+    else if (kind < 50)
+        type = AccessType::BlockStore;
+    return {cursor + rng.uniform(64), type, 0};
+}
+
+} // namespace
 
 TEST(Sweep, PaperConfigsSpan64KTo16M)
 {
@@ -96,4 +183,98 @@ TEST(Sweep, FullResetClearsContents)
     sweep.reset();
     sweep.access({0x1000, AccessType::Load, 0});
     EXPECT_EQ(sweep.dcacheResults()[0].misses, 1u);
+}
+
+TEST(Sweep, PaperSweepUsesTheInclusionFastPath)
+{
+    EXPECT_TRUE(
+        SweepSimulator(SweepSimulator::paperSweep()).inclusionChain());
+    // Mixed associativity breaks set refinement: generic walk.
+    EXPECT_FALSE(
+        SweepSimulator({{64 * 1024, 4, 64}, {128 * 1024, 2, 64}})
+            .inclusionChain());
+    // Mixed block size likewise.
+    EXPECT_FALSE(
+        SweepSimulator({{64 * 1024, 4, 32}, {128 * 1024, 4, 64}})
+            .inclusionChain());
+}
+
+TEST(Sweep, FastPathMatchesNaiveReference)
+{
+    // Scaled-down inclusion chain (64 KB..1 MB) so a 120k-reference
+    // trace exercises every cache's capacity.
+    std::vector<sim::CacheParams> configs;
+    for (std::uint64_t kb = 64; kb <= 1024; kb *= 2)
+        configs.push_back({kb * 1024, 4, 64});
+
+    SweepSimulator sweep(configs);
+    ASSERT_TRUE(sweep.inclusionChain());
+    NaiveSweep naive(configs);
+
+    sim::Rng rng(11);
+    mem::Addr cursor = 0;
+    for (int i = 0; i < 120000; ++i) {
+        const mem::MemRef ref = nextRef(rng, cursor);
+        sweep.access(ref);
+        naive.access(ref);
+    }
+
+    const auto &ires = sweep.icacheResults();
+    const auto &dres = sweep.dcacheResults();
+    ASSERT_EQ(ires.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(ires[i].accesses, naive.ibank.accesses) << i;
+        EXPECT_EQ(ires[i].misses, naive.ibank.misses[i]) << i;
+        EXPECT_EQ(dres[i].accesses, naive.dbank.accesses) << i;
+        EXPECT_EQ(dres[i].misses, naive.dbank.misses[i]) << i;
+    }
+    // The trace discriminates: some config actually missed.
+    EXPECT_GT(dres.front().misses, 0u);
+    EXPECT_LT(dres.back().misses, dres.front().misses);
+}
+
+TEST(Sweep, FastPathMatchesNaiveAcrossCounterReset)
+{
+    // resetCounters() (warmup boundary) keeps contents and the memo;
+    // the post-reset miss counts must still match the reference.
+    std::vector<sim::CacheParams> configs;
+    for (std::uint64_t kb = 64; kb <= 512; kb *= 2)
+        configs.push_back({kb * 1024, 4, 64});
+
+    SweepSimulator sweep(configs);
+    NaiveSweep warm(configs);
+
+    sim::Rng rng(23);
+    mem::Addr cursor = 0;
+    std::vector<mem::MemRef> measured;
+    for (int i = 0; i < 40000; ++i) {
+        const mem::MemRef ref = nextRef(rng, cursor);
+        sweep.access(ref);
+        warm.access(ref); // reference stays warm too
+    }
+    sweep.resetCounters();
+    NaiveBank ref_i = std::move(warm.ibank);
+    NaiveBank ref_d = std::move(warm.dbank);
+    ref_i.accesses = 0;
+    ref_d.accesses = 0;
+    ref_i.misses.assign(configs.size(), 0);
+    ref_d.misses.assign(configs.size(), 0);
+    for (int i = 0; i < 40000; ++i) {
+        const mem::MemRef ref = nextRef(rng, cursor);
+        sweep.access(ref);
+        if (ref.type == AccessType::IFetch)
+            ref_i.access(ref.addr, true);
+        else
+            ref_d.access(ref.addr,
+                         ref.type != AccessType::BlockStore);
+    }
+
+    const auto &ires = sweep.icacheResults();
+    const auto &dres = sweep.dcacheResults();
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(ires[i].misses, ref_i.misses[i]) << i;
+        EXPECT_EQ(dres[i].misses, ref_d.misses[i]) << i;
+        EXPECT_EQ(ires[i].accesses, ref_i.accesses) << i;
+        EXPECT_EQ(dres[i].accesses, ref_d.accesses) << i;
+    }
 }
