@@ -5,6 +5,29 @@
 # copied from BENCH_baseline.json (pre-optimization serial timings)
 # when that file is present. Pass MIDDLESIM_QUICK=1 for a fast smoke
 # run.
+#
+# run_benches.sh --check instead builds two sanitizer-instrumented
+# trees (MIDDLESIM_SANITIZE=thread|address) and runs the concurrency
+# tests under TSan and the full test suite under ASan+UBSan.
+
+if [ "$1" = "--check" ]; then
+    set -e
+    echo "################ sanitizer check: thread"
+    cmake -B build-tsan -S . -DMIDDLESIM_SANITIZE=thread \
+        > /dev/null
+    cmake --build build-tsan -j"$(nproc)" --target \
+        test_parallel test_metrics test_sweep > /dev/null
+    ./build-tsan/tests/test_parallel
+    ./build-tsan/tests/test_metrics
+    ./build-tsan/tests/test_sweep
+    echo "################ sanitizer check: address"
+    cmake -B build-asan -S . -DMIDDLESIM_SANITIZE=address \
+        > /dev/null
+    cmake --build build-asan -j"$(nproc)" > /dev/null
+    (cd build-asan && ctest --output-on-failure)
+    echo "ALL_SANITIZER_CHECKS_DONE"
+    exit 0
+fi
 
 figures="fig04_scaling fig05_execmodes fig06_cpi fig07_datastall \
          fig08_c2c_ratio fig09_gc_effect fig10_c2c_timeline \

@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include "core/metrics_io.hh"
 #include "sim/log.hh"
 #include "sim/threadpool.hh"
 
@@ -116,6 +117,8 @@ measure(System &system, const ExperimentSpec &spec,
                                 (1024.0 * 1024.0);
     if (workload.ecperf)
         res.beanHitRate = workload.ecperf->beanCache().hitRate();
+    res.metrics = std::make_shared<sim::MetricSnapshot>(
+        collectMetrics(system, spec, workload));
     return res;
 }
 

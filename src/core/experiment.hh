@@ -101,6 +101,13 @@ struct RunResult
     /** ECperf only: bean cache hit rate over the measured interval. */
     double beanHitRate = 0.0;
 
+    /**
+     * Full observability snapshot of the run (counters, histograms,
+     * series, event journal); shared so grid result vectors stay
+     * cheap to copy.
+     */
+    std::shared_ptr<const sim::MetricSnapshot> metrics;
+
     /** Instructions per completed transaction (path length). */
     double pathLength() const;
 

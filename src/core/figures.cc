@@ -79,11 +79,20 @@ FigureOptions::fromEnv()
     return opt;
 }
 
-const std::vector<ScalingPoint> &
-scalingSweep(const FigureOptions &opt)
+namespace
+{
+
+struct SweepCacheEntry
+{
+    std::vector<ScalingPoint> sweep;
+    MetricsMap metrics;
+};
+
+SweepCacheEntry &
+scalingSweepEntry(const FigureOptions &opt)
 {
     using Key = std::tuple<unsigned, long, std::uint64_t>;
-    static std::map<Key, std::vector<ScalingPoint>> cache;
+    static std::map<Key, SweepCacheEntry> cache;
     const Key key{opt.runs, std::lround(opt.timeScale * 1000),
                   opt.seed};
     auto it = cache.find(key);
@@ -108,7 +117,10 @@ scalingSweep(const FigureOptions &opt)
     }
     const std::vector<RunResult> results = runGrid(specs);
 
-    std::vector<ScalingPoint> sweep;
+    SweepCacheEntry entry;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        entry.metrics.emplace(pointName(specs[i]), *results[i].metrics);
+
     auto next = results.begin();
     for (double cpus_d : paper::cpuSweep()) {
         ScalingPoint point;
@@ -117,9 +129,23 @@ scalingSweep(const FigureOptions &opt)
         next += opt.runs;
         point.jbb.assign(next, next + opt.runs);
         next += opt.runs;
-        sweep.push_back(std::move(point));
+        entry.sweep.push_back(std::move(point));
     }
-    return cache.emplace(key, std::move(sweep)).first->second;
+    return cache.emplace(key, std::move(entry)).first->second;
+}
+
+} // namespace
+
+const std::vector<ScalingPoint> &
+scalingSweep(const FigureOptions &opt)
+{
+    return scalingSweepEntry(opt).sweep;
+}
+
+const MetricsMap &
+scalingSweepMetrics(const FigureOptions &opt)
+{
+    return scalingSweepEntry(opt).metrics;
 }
 
 // ---------------------------------------------------------------------
@@ -138,6 +164,7 @@ runFig04(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig04";
     fig.title = "Throughput scaling on a Sun E6000 (speedup vs 1 CPU)";
+    fig.metricsByPoint = scalingSweepMetrics(opt);
 
     Series ec("ecperf"), jbb("specjbb");
     Table table({"cpus", "ecperf", "+-", "specjbb", "+-",
@@ -190,6 +217,7 @@ runFig05(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig05";
     fig.title = "Execution mode breakdown vs number of processors (%)";
+    fig.metricsByPoint = scalingSweepMetrics(opt);
 
     auto frac = [](const RunResult &r, sim::Tick os::ModeBreakdown::*m) {
         return 100.0 * r.modes.fraction(r.modes.*m);
@@ -270,6 +298,7 @@ runFig06(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig06";
     fig.title = "CPI breakdown vs number of processors";
+    fig.metricsByPoint = scalingSweepMetrics(opt);
 
     Series ec_cpi("ecperf-cpi"), jbb_cpi("specjbb-cpi");
     Series ec_ds("ecperf-datastall"), jbb_ds("specjbb-datastall");
@@ -346,6 +375,7 @@ runFig07(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig07";
     fig.title = "Data stall time decomposition vs processors";
+    fig.metricsByPoint = scalingSweepMetrics(opt);
 
     Series ec_c2c("ecperf-c2c-share"), jbb_c2c("specjbb-c2c-share");
     Series ec_mem("ecperf-mem-share"), jbb_mem("specjbb-mem-share");
@@ -434,6 +464,7 @@ runFig08(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig08";
     fig.title = "Cache-to-cache transfer ratio (% of L2 misses)";
+    fig.metricsByPoint = scalingSweepMetrics(opt);
 
     auto ratio = [](const RunResult &r) {
         return 100.0 * r.cache.c2cRatio();
@@ -494,6 +525,7 @@ runFig09(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig09";
     fig.title = "Effect of garbage collection on throughput scaling";
+    fig.metricsByPoint = scalingSweepMetrics(opt);
 
     auto tput = [](const RunResult &r) { return r.throughput; };
     auto tput_nogc = [](const RunResult &r) {
@@ -617,6 +649,9 @@ runFig10(const FigureOptions &opt)
                           fmt(norm), gc ? "yes" : "no"});
         }
     }
+
+    fig.metricsByPoint.emplace(
+        pointName(spec), collectMetrics(*system, spec, workload));
 
     const double in_mean = in_n ? in_sum / in_n : 0.0;
     const double out_mean = out_n ? out_sum / out_n : 1.0;

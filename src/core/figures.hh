@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/metrics_io.hh"
 #include "stats/series.hh"
 #include "stats/table.hh"
 
@@ -57,6 +58,12 @@ struct FigureResult
     stats::Table table;
     std::vector<ShapeCheck> checks;
 
+    /**
+     * Per-grid-point metric snapshots of every simulation the figure
+     * consumed, keyed by pointName(). Serialized by --metrics-out.
+     */
+    MetricsMap metricsByPoint;
+
     bool
     allPass() const
     {
@@ -95,6 +102,9 @@ struct ScalingPoint
 };
 
 const std::vector<ScalingPoint> &scalingSweep(const FigureOptions &opt);
+
+/** Metric snapshots of the scaling sweep's grid points. */
+const MetricsMap &scalingSweepMetrics(const FigureOptions &opt);
 
 } // namespace middlesim::core
 

@@ -50,8 +50,16 @@ baseSpec(WorkloadKind kind, unsigned cpus, const FigureOptions &opt)
     return spec;
 }
 
+/** One Figure 11 measurement plus its metrics snapshot. */
+struct LivePoint
+{
+    double mb = 0.0;
+    std::string point;
+    sim::MetricSnapshot snap;
+};
+
 /** Run one scale point until at least `min_gcs` collections happen. */
-double
+LivePoint
 liveAfterGc(WorkloadKind kind, unsigned scale, const FigureOptions &opt)
 {
     ExperimentSpec spec = baseSpec(kind, 8, opt);
@@ -66,6 +74,9 @@ liveAfterGc(WorkloadKind kind, unsigned scale, const FigureOptions &opt)
         if (system->vm().stats().log.size() >= min_gcs)
             break;
     }
+    LivePoint out;
+    out.point = pointName(spec);
+    out.snap = collectMetrics(*system, spec, workload);
     const auto &st = system->vm().stats();
     if (st.liveAfterMB.count() == 0) {
         // No collection happened (tiny scale): report the workload's
@@ -73,15 +84,18 @@ liveAfterGc(WorkloadKind kind, unsigned scale, const FigureOptions &opt)
         const std::uint64_t live = workload.jbb
             ? workload.jbb->liveBytes()
             : workload.ecperf->liveBytes();
-        return static_cast<double>(live) / (1024.0 * 1024.0);
+        out.mb = static_cast<double>(live) / (1024.0 * 1024.0);
+    } else {
+        out.mb = st.liveAfterMB.mean();
     }
-    return st.liveAfterMB.mean();
+    return out;
 }
 
 /** Uniprocessor full-system run feeding the multi-size cache sweep. */
 void
 runSweepPoint(WorkloadKind kind, unsigned scale,
-              const FigureOptions &opt, mem::SweepSimulator &sweep)
+              const FigureOptions &opt, mem::SweepSimulator &sweep,
+              std::pair<std::string, sim::MetricSnapshot> &metrics_out)
 {
     ExperimentSpec spec = baseSpec(kind, 1, opt);
     spec.totalCpus = 1; // uniprocessor full-system configuration
@@ -102,6 +116,8 @@ runSweepPoint(WorkloadKind kind, unsigned scale,
     system->run(spec.measure);
     sweep.countInstructions(system->appCpi().instructions);
     system->memory().setSweepTap(nullptr);
+    metrics_out = {pointName(spec),
+                   collectMetrics(*system, spec, workload)};
 }
 
 /** Shared-cache configuration point for Figure 16. */
@@ -143,7 +159,7 @@ runFig11(const FigureOptions &opt)
 
     // Every scale point is an independent run: fan them all out.
     sim::ThreadPool &pool = sim::ThreadPool::global();
-    std::vector<std::future<double>> jbb_f, ec_f;
+    std::vector<std::future<LivePoint>> jbb_f, ec_f;
     for (std::size_t i = 0; i < jbb_scales.size(); ++i) {
         const unsigned js = jbb_scales[i], es = ec_scales[i];
         jbb_f.push_back(pool.submit([js, opt] {
@@ -158,11 +174,13 @@ runFig11(const FigureOptions &opt)
     Table table({"scale", "specjbb(MB)", "ecperf(MB)", "paper-jbb",
                  "paper-ec"});
     for (std::size_t i = 0; i < jbb_scales.size(); ++i) {
-        const double j = jbb_f[i].get();
-        const double e = ec_f[i].get();
-        jbb.add(jbb_scales[i], j);
-        ec.add(ec_scales[i], e);
-        table.addRow({fmt(jbb_scales[i], 0), fmt(j, 0), fmt(e, 0),
+        const LivePoint j = jbb_f[i].get();
+        const LivePoint e = ec_f[i].get();
+        fig.metricsByPoint.emplace(j.point, j.snap);
+        fig.metricsByPoint.emplace(e.point, e.snap);
+        jbb.add(jbb_scales[i], j.mb);
+        ec.add(ec_scales[i], e.mb);
+        table.addRow({fmt(jbb_scales[i], 0), fmt(j.mb, 0), fmt(e.mb, 0),
                       fmt(paper::fig11SpecJbb().yAt(jbb_scales[i]), 0),
                       fmt(paper::fig11Ecperf().yAt(ec_scales[i]), 0)});
     }
@@ -208,6 +226,17 @@ struct SweepSet
     mem::SweepSimulator jbb1{mem::SweepSimulator::paperSweep()};
     mem::SweepSimulator jbb10{mem::SweepSimulator::paperSweep()};
     mem::SweepSimulator jbb25{mem::SweepSimulator::paperSweep()};
+    /** Per-point (name, snapshot), filled by each sweep's own run. */
+    std::pair<std::string, sim::MetricSnapshot> snaps[4];
+
+    MetricsMap
+    metrics() const
+    {
+        MetricsMap map;
+        for (const auto &[name, snap] : snaps)
+            map.emplace(name, snap);
+        return map;
+    }
 };
 
 /** Run all four uniprocessor sweeps once per options. */
@@ -231,16 +260,20 @@ sweepSet(const FigureOptions &opt)
     SweepSet &set = *cached;
     std::vector<std::future<void>> points;
     points.push_back(pool.submit([&set, opt] {
-        runSweepPoint(WorkloadKind::Ecperf, 8, opt, set.ecperf);
+        runSweepPoint(WorkloadKind::Ecperf, 8, opt, set.ecperf,
+                      set.snaps[0]);
     }));
     points.push_back(pool.submit([&set, opt] {
-        runSweepPoint(WorkloadKind::SpecJbb, 1, opt, set.jbb1);
+        runSweepPoint(WorkloadKind::SpecJbb, 1, opt, set.jbb1,
+                      set.snaps[1]);
     }));
     points.push_back(pool.submit([&set, opt] {
-        runSweepPoint(WorkloadKind::SpecJbb, 10, opt, set.jbb10);
+        runSweepPoint(WorkloadKind::SpecJbb, 10, opt, set.jbb10,
+                      set.snaps[2]);
     }));
     points.push_back(pool.submit([&set, opt] {
-        runSweepPoint(WorkloadKind::SpecJbb, 25, opt, set.jbb25);
+        runSweepPoint(WorkloadKind::SpecJbb, 25, opt, set.jbb25,
+                      set.snaps[3]);
     }));
     for (auto &f : points)
         f.get();
@@ -257,6 +290,7 @@ runFig12(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig12";
     fig.title = "Instruction cache misses per 1000 instructions";
+    fig.metricsByPoint = set.metrics();
 
     Series ec("ecperf"), j1("specjbb-1"), j10("specjbb-10"),
         j25("specjbb-25");
@@ -316,6 +350,7 @@ runFig13(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig13";
     fig.title = "Data cache misses per 1000 instructions";
+    fig.metricsByPoint = set.metrics();
 
     Series ec("ecperf"), j1("specjbb-1"), j10("specjbb-10"),
         j25("specjbb-25");
@@ -387,6 +422,8 @@ struct CommPoint
 {
     stats::ConcentrationCurve curve{std::vector<std::uint64_t>{}};
     std::uint64_t touchedLines = 0;
+    std::string point;
+    sim::MetricSnapshot snap;
 };
 
 CommPoint
@@ -400,10 +437,12 @@ commFootprint(WorkloadKind kind, unsigned cpus, unsigned scale,
         static_cast<double>(spec.measure) * 1.5);
     BuiltWorkload workload;
     auto system = buildSystem(spec, workload);
-    measure(*system, spec, workload);
+    const RunResult res = measure(*system, spec, workload);
     CommPoint point;
     point.curve = system->memory().c2cPerLine().concentration();
     point.touchedLines = system->memory().touchedLines();
+    point.point = pointName(spec);
+    point.snap = *res.metrics;
     return point;
 }
 
@@ -458,6 +497,8 @@ runFig14(const FigureOptions &opt)
     FigureResult fig;
     fig.id = "fig14";
     fig.title = "Distribution of c2c transfers vs % of lines touched";
+    fig.metricsByPoint.emplace(jbb.point, jbb.snap);
+    fig.metricsByPoint.emplace(ec.point, ec.snap);
 
     // x = fraction of *touched* lines (communicating lines are a
     // subset); y = cumulative share of all c2c transfers.
@@ -523,6 +564,8 @@ runFig15(const FigureOptions &opt)
     fig.id = "fig15";
     fig.title =
         "Distribution of c2c transfers vs absolute lines (64 B)";
+    fig.metricsByPoint.emplace(jbb.point, jbb.snap);
+    fig.metricsByPoint.emplace(ec.point, ec.snap);
 
     const std::vector<double> shares = {0.1, 0.2, 0.3, 0.4, 0.5,
                                         0.6, 0.7, 0.8, 0.9, 1.0};
@@ -575,6 +618,9 @@ runFig16(const FigureOptions &opt)
             sharedCacheSpec(WorkloadKind::SpecJbb, 25, share, opt));
     }
     const std::vector<RunResult> results = runGrid(specs);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        fig.metricsByPoint.emplace(pointName(specs[i]),
+                                   *results[i].metrics);
 
     Series ec("ecperf"), jbb("specjbb-25");
     Table table({"cpus/L2", "ecperf", "specjbb-25", "paper-ec",

@@ -1,0 +1,156 @@
+#include "core/metrics_io.hh"
+
+namespace middlesim::core
+{
+
+std::string
+pointName(const ExperimentSpec &spec)
+{
+    std::string name =
+        spec.workload == WorkloadKind::SpecJbb ? "jbb" : "ecperf";
+    name += "/app=" + std::to_string(spec.appCpus);
+    name += "/total=" + std::to_string(spec.totalCpus);
+    name += "/l2x" + std::to_string(spec.cpusPerL2);
+    name += "/scale=" + std::to_string(spec.resolvedScale());
+    name += "/seed=" + std::to_string(spec.seed);
+    return name;
+}
+
+namespace
+{
+
+void
+exportCpi(sim::MetricRegistry &reg, const std::string &prefix,
+          const cpu::CpiBreakdown &cpi)
+{
+    reg.counter(prefix + ".instructions").set(cpi.instructions);
+    reg.counter(prefix + ".cycles.base").set(cpi.base);
+    reg.counter(prefix + ".cycles.istall").set(cpi.iStall);
+    reg.counter(prefix + ".cycles.ds_storebuf").set(cpi.dsStoreBuf);
+    reg.counter(prefix + ".cycles.ds_raw").set(cpi.dsRaw);
+    reg.counter(prefix + ".cycles.ds_l2hit").set(cpi.dsL2Hit);
+    reg.counter(prefix + ".cycles.ds_c2c").set(cpi.dsC2C);
+    reg.counter(prefix + ".cycles.ds_memory").set(cpi.dsMemory);
+    reg.counter(prefix + ".cycles.ds_other").set(cpi.dsOther);
+    reg.gauge(prefix + ".cpi").set(cpi.cpi());
+}
+
+void
+exportModes(sim::MetricRegistry &reg, const std::string &prefix,
+            const os::ModeBreakdown &modes)
+{
+    reg.counter(prefix + ".user").set(modes.user);
+    reg.counter(prefix + ".system").set(modes.system);
+    reg.counter(prefix + ".io").set(modes.io);
+    reg.counter(prefix + ".idle").set(modes.idle);
+    reg.counter(prefix + ".gc_idle").set(modes.gcIdle);
+}
+
+void
+exportCache(sim::MetricRegistry &reg, const std::string &prefix,
+            const mem::CacheStats &st)
+{
+    reg.counter(prefix + ".ifetches").set(st.ifetches);
+    reg.counter(prefix + ".loads").set(st.loads);
+    reg.counter(prefix + ".stores").set(st.stores);
+    reg.counter(prefix + ".atomics").set(st.atomics);
+    reg.counter(prefix + ".l1i_hits").set(st.l1iHits);
+    reg.counter(prefix + ".l1d_hits").set(st.l1dHits);
+    reg.counter(prefix + ".l2_accesses").set(st.l2Accesses);
+    reg.counter(prefix + ".l2_hits").set(st.l2Hits);
+    reg.counter(prefix + ".miss_cold").set(st.missCold);
+    reg.counter(prefix + ".miss_coherence").set(st.missCoherence);
+    reg.counter(prefix + ".miss_capacity").set(st.missCapacity);
+    reg.counter(prefix + ".c2c_transfers").set(st.c2cTransfers);
+    reg.counter(prefix + ".upgrades").set(st.upgrades);
+    reg.counter(prefix + ".writebacks").set(st.writebacks);
+    reg.counter(prefix + ".block_stores").set(st.blockStores);
+    reg.counter(prefix + ".instr_misses").set(st.instrMisses);
+    reg.counter(prefix + ".data_misses").set(st.dataMisses);
+}
+
+} // namespace
+
+sim::MetricSnapshot
+collectMetrics(System &system, const ExperimentSpec &spec,
+               const BuiltWorkload &workload)
+{
+    sim::MetricRegistry &reg = system.metrics();
+
+    exportCpi(reg, "cpu.app", system.appCpi());
+    exportModes(reg, "os.modes.app", system.appModes());
+    exportModes(reg, "os.modes.all", system.scheduler().allModes());
+    reg.counter("os.sched.context_switches")
+        .set(system.scheduler().contextSwitches());
+    exportCache(reg, "mem.app", system.appCacheStats());
+    exportCache(reg, "mem.all", system.memory().aggregateAll());
+
+    const mem::Bus &bus = system.memory().bus();
+    reg.counter("mem.bus.transactions").set(bus.transactions());
+    reg.counter("mem.bus.busy_cycles").set(bus.busyCycles());
+    reg.counter("mem.bus.queue_delay").set(bus.totalQueueDelay());
+
+    for (const auto &region : system.memory().regions()) {
+        const std::string prefix = "mem.region." + region.name;
+        reg.counter(prefix + ".miss_cold").set(region.missCold);
+        reg.counter(prefix + ".miss_coherence")
+            .set(region.missCoherence);
+        reg.counter(prefix + ".miss_capacity").set(region.missCapacity);
+    }
+
+    const jvm::Jvm::Stats &gc = system.vm().stats();
+    reg.counter("jvm.gc.minor").set(gc.minorCollections);
+    reg.counter("jvm.gc.major").set(gc.majorCollections);
+    reg.counter("jvm.gc.pause_cycles").set(gc.totalPause);
+    reg.gauge("jvm.heap.old_used_mb")
+        .set(static_cast<double>(system.vm().heap().oldUsed()) /
+             (1024.0 * 1024.0));
+
+    const unsigned num_types =
+        spec.workload == WorkloadKind::SpecJbb
+            ? workload::jbbNumTxTypes
+            : workload::ecperfNumTxTypes;
+    for (unsigned t = 0; t < num_types; ++t) {
+        reg.counter("workload.tx.type" + std::to_string(t))
+            .set(system.txCount(t));
+    }
+    reg.counter("workload.tx.total").set(system.txTotal());
+    reg.gauge("workload.throughput").set(system.throughput());
+    if (workload.ecperf) {
+        const auto &bc = workload.ecperf->beanCache();
+        reg.counter("workload.beancache.hits").set(bc.hits());
+        reg.counter("workload.beancache.misses").set(bc.misses());
+        reg.counter("workload.beancache.evictions")
+            .set(bc.evictions());
+        reg.gauge("workload.beancache.hit_rate").set(bc.hitRate());
+    }
+    if (workload.jbb) {
+        reg.counter("workload.jbb.outstanding_orders")
+            .set(workload.jbb->outstandingOrders());
+    }
+
+    reg.gauge("sys.measured_seconds").set(system.measuredSeconds());
+
+    return reg.snapshot();
+}
+
+void
+writeMetricsJson(std::ostream &os, const std::string &figure,
+                 const MetricsMap &points)
+{
+    os << "{\n  \"schema\": \"" << metricsSchemaVersion
+       << "\",\n  \"figure\": \"" << sim::jsonEscape(figure)
+       << "\",\n  \"points\": {";
+    bool first = true;
+    for (const auto &[name, snap] : points) {
+        os << (first ? "\n" : ",\n") << "    \""
+           << sim::jsonEscape(name) << "\":\n";
+        snap.writeJson(os, 4);
+        first = false;
+    }
+    if (!first)
+        os << '\n' << "  ";
+    os << "}\n}\n";
+}
+
+} // namespace middlesim::core

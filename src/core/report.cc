@@ -1,9 +1,11 @@
 #include "core/report.hh"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "core/metrics_io.hh"
 #include "sim/log.hh"
 #include "sim/threadpool.hh"
 
@@ -28,6 +30,7 @@ int
 figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
            char **argv)
 {
+    std::string metrics_out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--jobs=", 0) == 0) {
@@ -37,15 +40,27 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
                            "' (want --jobs=N with N >= 1)");
             sim::ThreadPool::setGlobalJobs(
                 static_cast<unsigned>(jobs));
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            metrics_out = arg.substr(14);
+            if (metrics_out.empty())
+                fatal("figureMain: bad flag '", arg,
+                           "' (want --metrics-out=PATH)");
         } else {
             fatal("figureMain: unknown flag '", arg,
-                       "' (supported: --jobs=N)");
+                       "' (supported: --jobs=N, --metrics-out=PATH)");
         }
     }
 
     const FigureOptions opt = FigureOptions::fromEnv();
     const FigureResult fig = harness(opt);
     printFigure(fig, std::cout);
+    if (!metrics_out.empty()) {
+        std::ofstream os(metrics_out);
+        if (!os)
+            fatal("figureMain: cannot open '", metrics_out,
+                       "' for writing");
+        writeMetricsJson(os, fig.id, fig.metricsByPoint);
+    }
     return fig.allPass() ? 0 : 1;
 }
 

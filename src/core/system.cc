@@ -12,12 +12,13 @@ System::System(const SystemConfig &config, std::uint64_t seed)
 {
     cfg_.machine.validate();
     mem_ = std::make_unique<mem::Hierarchy>(cfg_.machine, cfg_.latency,
-                                            cfg_.busContention);
+                                            cfg_.busContention,
+                                            &metrics_);
     sched_ = std::make_unique<os::Scheduler>(cfg_.machine.totalCpus,
                                              cfg_.machine.appCpus,
-                                             cfg_.rechoose);
+                                             cfg_.rechoose, &metrics_);
     kernel_ = std::make_unique<os::KernelModel>(cfg_.kernel);
-    jvm_ = std::make_unique<jvm::Jvm>(cfg_.jvm, rng_.fork());
+    jvm_ = std::make_unique<jvm::Jvm>(cfg_.jvm, rng_.fork(), &metrics_);
 
     cores_.reserve(cfg_.machine.totalCpus);
     for (unsigned c = 0; c < cfg_.machine.totalCpus; ++c) {
@@ -59,7 +60,23 @@ System::run(sim::Tick duration)
             runCpu(c, window_end);
         mem_->bus().advanceEpoch(cfg_.window);
         now_ = window_end;
+        if (cfg_.samplePeriod > 0 && now_ >= nextSample_) {
+            sampleSeries();
+            nextSample_ = now_ + cfg_.samplePeriod;
+        }
     }
+}
+
+void
+System::sampleSeries()
+{
+    const double mb = 1024.0 * 1024.0;
+    metrics_.series("sys.heap.young_used_mb", cfg_.samplePeriod)
+        .push(static_cast<double>(jvm_->heap().youngUsed()) / mb);
+    metrics_.series("sys.heap.old_used_mb", cfg_.samplePeriod)
+        .push(static_cast<double>(jvm_->heap().oldUsed()) / mb);
+    metrics_.series("sys.sched.runnable", cfg_.samplePeriod)
+        .push(static_cast<double>(sched_->runnableCount()));
 }
 
 void
@@ -309,13 +326,21 @@ System::startGcIfNeeded()
     gcTid_ = static_cast<int>(
         sched_->addThread(gcProgram_.get(), /*in_app_set=*/false,
                           static_cast<int>(cfg_.gcCpu)));
+    metrics_.journal().record(now_, "gc.begin");
+    metrics_.journal().record(now_, "safepoint.begin");
 }
 
 void
 System::finishGc()
 {
     sim_assert(gcActive_, "finishGc without active GC");
-    jvm_->endCollection(gcStart_, cores_[cfg_.gcCpu]->now());
+    const sim::Tick end = cores_[cfg_.gcCpu]->now();
+    jvm_->endCollection(gcStart_, end);
+    const jvm::GcRecord &rec = jvm_->stats().log.back();
+    metrics_.journal().record(
+        end, rec.major ? "gc.end.major" : "gc.end.minor",
+        "pause=" + std::to_string(rec.duration));
+    metrics_.journal().record(end, "safepoint.end");
     gcActive_ = false;
     gcTid_ = -1;
 }
@@ -323,6 +348,7 @@ System::finishGc()
 void
 System::beginMeasurement()
 {
+    metrics_.reset();
     mem_->resetStats();
     for (auto &core : cores_)
         core->resetStats();
@@ -330,6 +356,7 @@ System::beginMeasurement()
     std::fill(txCounts_.begin(), txCounts_.end(), 0);
     jvm_->resetStats();
     measureStart_ = now_;
+    nextSample_ = now_ + cfg_.samplePeriod;
 }
 
 double

@@ -25,6 +25,7 @@
 #include "os/kernel.hh"
 #include "os/scheduler.hh"
 #include "sim/config.hh"
+#include "sim/metrics.hh"
 #include "sim/rng.hh"
 #include "sim/ticks.hh"
 
@@ -55,6 +56,8 @@ struct SystemConfig
     sim::Tick rechoose = 1000000;
     /** CPU that runs the single-threaded collector. */
     unsigned gcCpu = 0;
+    /** Metric time-series sampling period (cycles; 0 disables). */
+    sim::Tick samplePeriod = 1000000;
 };
 
 /** One simulated machine. */
@@ -108,6 +111,10 @@ class System
 
     bool gcActive() const { return gcActive_; }
 
+    /** The unified observability registry of this machine. */
+    sim::MetricRegistry &metrics() { return metrics_; }
+    const sim::MetricRegistry &metrics() const { return metrics_; }
+
   private:
     void runCpu(unsigned cpu, sim::Tick window_end);
     void executeBurst(cpu::InOrderCore &core, const exec::Burst &burst);
@@ -116,9 +123,16 @@ class System
     void chargeContextSwitch(unsigned cpu);
     void startGcIfNeeded();
     void finishGc();
+    void sampleSeries();
 
     SystemConfig cfg_;
     sim::Rng rng_;
+
+    /**
+     * Declared before the subsystems: they hold handles into the
+     * registry and must be destroyed first.
+     */
+    sim::MetricRegistry metrics_;
 
     std::unique_ptr<mem::Hierarchy> mem_;
     std::vector<std::unique_ptr<cpu::InOrderCore>> cores_;
@@ -144,6 +158,8 @@ class System
     sim::Tick gcStart_ = 0;
     int gcTid_ = -1;
     std::unique_ptr<exec::ThreadProgram> gcProgram_;
+
+    sim::Tick nextSample_ = 0;
 };
 
 } // namespace middlesim::core

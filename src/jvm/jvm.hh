@@ -23,6 +23,7 @@
 #include "exec/program.hh"
 #include "jvm/gc.hh"
 #include "jvm/heap.hh"
+#include "sim/metrics.hh"
 #include "sim/rng.hh"
 #include "sim/ticks.hh"
 #include "stats/summary.hh"
@@ -88,7 +89,12 @@ struct GcRecord
 class Jvm
 {
   public:
-    Jvm(const JvmParams &params, sim::Rng rng);
+    /**
+     * @param metrics registry for allocation/TLAB counters and the GC
+     *        pause histogram; pass nullptr for private fallbacks.
+     */
+    Jvm(const JvmParams &params, sim::Rng rng,
+        sim::MetricRegistry *metrics = nullptr);
 
     Heap &heap() { return heap_; }
     const Heap &heap() const { return heap_; }
@@ -181,6 +187,12 @@ class Jvm
     std::uint64_t pendingPromoteBytes_ = 0;
     unsigned nextTid_ = 0;
     Stats stats_;
+
+    sim::Counter *allocBytes_;
+    sim::Counter *tlabRefills_;
+    sim::Counter fallbackCounters_[2];
+    sim::HistogramMetric *gcPause_;
+    sim::HistogramMetric fallbackPause_;
 };
 
 } // namespace middlesim::jvm

@@ -8,9 +8,19 @@ namespace middlesim::mem
 {
 
 Hierarchy::Hierarchy(const sim::MachineConfig &config,
-                     const LatencyModel &latency, bool bus_contention)
+                     const LatencyModel &latency, bool bus_contention,
+                     sim::MetricRegistry *metrics)
     : cfg_(config), lat_(latency), bus_(bus_contention)
 {
+    invalidations_ = metrics
+        ? &metrics->counter("mem.coherence.invalidations")
+        : &fallbackCounters_[0];
+    backInvalidations_ = metrics
+        ? &metrics->counter("mem.coherence.l1_back_invalidations")
+        : &fallbackCounters_[1];
+    copybacksSupplied_ = metrics
+        ? &metrics->counter("mem.coherence.copybacks_supplied")
+        : &fallbackCounters_[2];
     cfg_.validate();
     // The removal-cause and presence masks carry one bit per L2
     // group; beyond that width classification would silently alias.
@@ -145,8 +155,10 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
         peers &= peers - 1;
         CacheLine *peer = l2_[g].find(ref.addr);
         sim_assert(peer, "presence mask out of sync (snoop)");
-        if (isOwner(peer->state))
+        if (isOwner(peer->state)) {
             peer_supplied = true;
+            ++*copybacksSupplied_;
+        }
         if (want_write) {
             invalidateForRemoteWrite(g, *peer, meta);
         } else {
@@ -316,6 +328,7 @@ void
 Hierarchy::invalidateForRemoteWrite(unsigned group, CacheLine &line,
                                     LineMeta &meta)
 {
+    ++*invalidations_;
     meta.invalidatedMask |= 1u << group;
     meta.presenceMask &= ~(1u << group);
     backInvalidateL1s(group, line.tag);
@@ -328,10 +341,14 @@ Hierarchy::backInvalidateL1s(unsigned group, Addr block)
     const unsigned first = group * cfg_.cpusPerL2;
     const unsigned last = first + cfg_.cpusPerL2;
     for (unsigned c = first; c < last && c < cfg_.totalCpus; ++c) {
-        if (CacheLine *line = l1i_[c].find(block))
+        if (CacheLine *line = l1i_[c].find(block)) {
             line->state = CoherenceState::Invalid;
-        if (CacheLine *line = l1d_[c].find(block))
+            ++*backInvalidations_;
+        }
+        if (CacheLine *line = l1d_[c].find(block)) {
             line->state = CoherenceState::Invalid;
+            ++*backInvalidations_;
+        }
     }
 }
 

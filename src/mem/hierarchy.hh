@@ -35,6 +35,7 @@
 #include "mem/stats.hh"
 #include "mem/sweep.hh"
 #include "sim/config.hh"
+#include "sim/metrics.hh"
 #include "stats/distribution.hh"
 
 namespace middlesim::mem
@@ -69,9 +70,15 @@ class TimelineSampler
 class Hierarchy
 {
   public:
+    /**
+     * @param metrics registry for live coherence counters
+     *        (invalidations, L1 back-invalidations, snoop copybacks
+     *        supplied); pass nullptr to count into private fallbacks.
+     */
     Hierarchy(const sim::MachineConfig &config,
               const LatencyModel &latency,
-              bool bus_contention = true);
+              bool bus_contention = true,
+              sim::MetricRegistry *metrics = nullptr);
 
     /** Perform one access; returns latency and classification. */
     AccessResult access(const MemRef &ref, sim::Tick now);
@@ -186,6 +193,17 @@ class Hierarchy
 
     BlockMetaTable meta_;
     std::vector<Region> regions_;
+
+    /**
+     * Live coherence counters (registry-backed when a registry was
+     * supplied; otherwise the private fallbacks below). Invalidation
+     * traffic is not attributable to the requesting CPU, so it is
+     * counted here rather than in the per-CPU CacheStats.
+     */
+    sim::Counter *invalidations_;
+    sim::Counter *backInvalidations_;
+    sim::Counter *copybacksSupplied_;
+    sim::Counter fallbackCounters_[3];
 
     bool trackComm_ = false;
     stats::KeyCounts c2cPerLine_;

@@ -8,13 +8,16 @@ namespace middlesim::os
 {
 
 Scheduler::Scheduler(unsigned total_cpus, unsigned app_cpus,
-                     sim::Tick rechoose)
+                     sim::Tick rechoose, sim::MetricRegistry *metrics)
     : totalCpus_(total_cpus), appCpus_(app_cpus),
       boundQueues_(total_cpus), modes_(total_cpus),
       rechoose_(rechoose)
 {
     if (app_cpus == 0 || app_cpus > total_cpus)
         fatal("scheduler: appCpus must be in [1, totalCpus]");
+    migrations_ = metrics ? &metrics->counter("os.sched.migrations")
+                          : &fallbackMigrations_;
+    journal_ = metrics ? &metrics->journal() : nullptr;
 }
 
 unsigned
@@ -93,6 +96,17 @@ Scheduler::pickFor(unsigned cpu, sim::Tick now, bool gc_active)
                 runQueue_.erase(runQueue_.begin() +
                                 static_cast<long>(i));
                 t.state = ThreadState::Running;
+                if (t.lastCpu >= 0 &&
+                    t.lastCpu != static_cast<int>(cpu)) {
+                    ++*migrations_;
+                    if (journal_) {
+                        journal_->record(now, "sched.migrate",
+                                         "tid=" + std::to_string(tid) +
+                                         " cpu=" +
+                                         std::to_string(t.lastCpu) +
+                                         "->" + std::to_string(cpu));
+                    }
+                }
                 t.lastCpu = static_cast<int>(cpu);
                 return static_cast<int>(tid);
             }
@@ -223,6 +237,7 @@ Scheduler::resetAccounting()
     for (auto &m : modes_)
         m = ModeBreakdown();
     contextSwitches_ = 0;
+    migrations_->set(0);
 }
 
 } // namespace middlesim::os

@@ -22,6 +22,7 @@
 #include "exec/program.hh"
 #include "os/modes.hh"
 #include "os/thread.hh"
+#include "sim/metrics.hh"
 #include "sim/ticks.hh"
 
 namespace middlesim::os
@@ -36,9 +37,12 @@ class Scheduler
      *        on a non-home CPU only after waiting this many cycles in
      *        the run queue (Solaris ts_rechoose_interval). Preserves
      *        per-CPU cache affinity under frequent blocking.
+     * @param metrics registry for migration counting and journal
+     *        events; pass nullptr to count into a private fallback.
      */
     Scheduler(unsigned total_cpus, unsigned app_cpus,
-              sim::Tick rechoose = 1000000);
+              sim::Tick rechoose = 1000000,
+              sim::MetricRegistry *metrics = nullptr);
 
     /** Register a thread; returns its tid. The program is borrowed. */
     unsigned addThread(exec::ThreadProgram *program, bool in_app_set,
@@ -100,6 +104,9 @@ class Scheduler
     std::uint64_t contextSwitches() const { return contextSwitches_; }
     void countContextSwitch() { ++contextSwitches_; }
 
+    /** Cross-CPU moves of previously-placed unbound threads. */
+    std::uint64_t migrations() const { return migrations_->value(); }
+
     void resetAccounting();
 
   private:
@@ -122,6 +129,10 @@ class Scheduler
     std::vector<ModeBreakdown> modes_;
     std::uint64_t contextSwitches_ = 0;
     sim::Tick rechoose_;
+
+    sim::Counter *migrations_;
+    sim::Counter fallbackMigrations_;
+    sim::EventJournal *journal_ = nullptr;
 };
 
 } // namespace middlesim::os

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "sim/log.hh"
 
@@ -46,8 +47,12 @@ Histogram::quantile(double q) const
     if (total_ == 0)
         return lo_;
     q = std::clamp(q, 0.0, 1.0);
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(total_));
+    // Rank of the requested quantile, at least 1 so sparse histograms
+    // never report an empty leading bin.
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    if (target == 0)
+        target = 1;
     std::uint64_t seen = 0;
     for (unsigned b = 0; b < counts_.size(); ++b) {
         seen += counts_[b];

@@ -15,6 +15,32 @@ Series::yAt(double x, double fallback) const
     return fallback;
 }
 
+void
+Series::merge(const Series &other)
+{
+    std::vector<Point> fresh;
+    for (const Point &p : other.points) {
+        bool matched = false;
+        for (Point &mine : points) {
+            if (std::abs(mine.x - p.x) < 1e-9) {
+                mine.y += p.y;
+                mine.err = std::sqrt(mine.err * mine.err +
+                                     p.err * p.err);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            fresh.push_back(p);
+    }
+    for (const Point &p : fresh) {
+        auto at = points.begin();
+        while (at != points.end() && at->x < p.x)
+            ++at;
+        points.insert(at, p);
+    }
+}
+
 double
 Series::maxY() const
 {

@@ -49,8 +49,11 @@ mem::Addr
 BeanCache::install(std::uint64_t key, sim::Tick now)
 {
     const std::uint64_t slot = slotOf(key);
-    slots_[slot].key = key;
-    slots_[slot].expires = now + ttl_;
+    Slot &s = slots_[slot];
+    if (s.key != ~0ULL && s.key != key && now < s.expires)
+        ++evictions_;
+    s.key = key;
+    s.expires = now + ttl_;
     return slabBase_ + slot * beanBytes_;
 }
 
@@ -81,6 +84,7 @@ BeanCache::resetStats()
 {
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 } // namespace middlesim::workload

@@ -81,6 +81,9 @@ class BeanCache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Installs that overwrote a different live (unexpired) key. */
+    std::uint64_t evictions() const { return evictions_; }
+
     double
     hitRate() const
     {
@@ -107,6 +110,7 @@ class BeanCache
     std::vector<Slot> slots_;
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace middlesim::workload

@@ -9,13 +9,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/metrics_io.hh"
 #include "mem/hierarchy.hh"
+#include "sim/metrics.hh"
 #include "sim/threadpool.hh"
 
 using namespace middlesim;
@@ -171,6 +174,84 @@ TEST(ParallelRunner, RunGridPreservesSubmissionOrder)
     ASSERT_EQ(results.size(), 3u);
     expectIdentical(results[0], results[2]);
     EXPECT_NE(results[0].txTotal, results[1].txTotal);
+}
+
+namespace
+{
+
+/** Serialize a batch of runs to the metrics JSON document text. */
+std::string
+metricsDocument(const std::vector<core::RunResult> &results,
+                const core::ExperimentSpec &base)
+{
+    core::MetricsMap map;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const core::ExperimentSpec spec =
+            core::repeatedSpec(base, static_cast<unsigned>(i));
+        map.emplace(core::pointName(spec), *results[i].metrics);
+    }
+    std::ostringstream os;
+    core::writeMetricsJson(os, "test", map);
+    return os.str();
+}
+
+} // namespace
+
+TEST(ParallelRunner, MetricsTravelWithEveryResult)
+{
+    sim::ThreadPool::setGlobalJobs(1);
+    const auto results = core::runRepeated(smallSpec(), 2);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &res : results) {
+        ASSERT_NE(res.metrics, nullptr);
+        EXPECT_FALSE(res.metrics->counters.empty());
+        EXPECT_EQ(res.metrics->counters.at("cpu.app.instructions"),
+                  res.cpi.instructions);
+        EXPECT_EQ(res.metrics->counters.at("mem.app.loads"),
+                  res.cache.loads);
+    }
+}
+
+TEST(ParallelRunner, MetricsJsonIsByteIdenticalAcrossJobCounts)
+{
+    const core::ExperimentSpec spec = smallSpec();
+
+    sim::ThreadPool::setGlobalJobs(1);
+    const std::string serial =
+        metricsDocument(core::runRepeated(spec, 3), spec);
+    sim::ThreadPool::setGlobalJobs(4);
+    const std::string parallel =
+        metricsDocument(core::runRepeated(spec, 3), spec);
+    sim::ThreadPool::setGlobalJobs(4);
+    const std::string again =
+        metricsDocument(core::runRepeated(spec, 3), spec);
+    sim::ThreadPool::setGlobalJobs(1);
+
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel); // jobs=1 vs jobs=4
+    EXPECT_EQ(parallel, again);  // same-seed rerun
+}
+
+TEST(ParallelRunner, MergedSnapshotIsJobCountInvariant)
+{
+    const core::ExperimentSpec spec = smallSpec();
+
+    auto mergedJson = [&spec] {
+        const auto results = core::runRepeated(spec, 3);
+        sim::MetricSnapshot merged;
+        for (const auto &res : results)
+            merged.merge(*res.metrics);
+        std::ostringstream os;
+        merged.writeJson(os);
+        return os.str();
+    };
+
+    sim::ThreadPool::setGlobalJobs(1);
+    const std::string serial = mergedJson();
+    sim::ThreadPool::setGlobalJobs(4);
+    const std::string parallel = mergedJson();
+    sim::ThreadPool::setGlobalJobs(1);
+    EXPECT_EQ(serial, parallel);
 }
 
 TEST(HierarchyGuard, RejectsMoreL2GroupsThanMaskBits)

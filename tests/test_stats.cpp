@@ -114,6 +114,31 @@ TEST(Histogram, WeightedAdd)
     EXPECT_EQ(h.total(), 10u);
 }
 
+TEST(Histogram, EmptyQuantileReturnsLowerBound)
+{
+    Histogram h(2.0, 10.0, 8);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, SingleSampleQuantileIsItsBinCenter)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(7.3); // bin [7, 8), center 7.5
+    EXPECT_DOUBLE_EQ(h.quantile(0.01), 7.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.5);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeArgument)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
 TEST(Log2Histogram, Buckets)
 {
     Log2Histogram h;
@@ -128,6 +153,25 @@ TEST(Log2Histogram, Buckets)
     EXPECT_EQ(h.bucketCount(2), 1u); // 4
     EXPECT_EQ(h.bucketCount(10), 1u); // 1024
     EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Log2Histogram, EmptyAndUnknownBuckets)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.numBuckets(), 0u);
+    EXPECT_EQ(h.bucketCount(17), 0u); // out of range reads as zero
+}
+
+TEST(Log2Histogram, TopBucketHoldsLargestValues)
+{
+    Log2Histogram h;
+    h.add(~0ULL); // 2^64 - 1 -> bucket 63, the largest possible
+    EXPECT_EQ(h.numBuckets(), 64u);
+    EXPECT_EQ(h.bucketCount(63), 1u);
+    h.reset();
+    EXPECT_EQ(h.numBuckets(), 0u);
+    EXPECT_EQ(h.total(), 0u);
 }
 
 TEST(ConcentrationCurve, Shares)
@@ -160,6 +204,17 @@ TEST(ConcentrationCurve, Fractions)
     EXPECT_DOUBLE_EQ(c.shareOfTopFraction(1.0), 1.0);
 }
 
+TEST(ConcentrationCurve, SingleKeyOwnsEverything)
+{
+    ConcentrationCurve c({42});
+    EXPECT_DOUBLE_EQ(c.maxShare(), 1.0);
+    EXPECT_EQ(c.keysForShare(0.01), 1u);
+    EXPECT_EQ(c.keysForShare(1.0), 1u);
+    const auto pts = c.curve(4);
+    ASSERT_FALSE(pts.empty());
+    EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
 TEST(KeyCounts, AddAndConcentrate)
 {
     KeyCounts k;
@@ -184,6 +239,51 @@ TEST(Series, Access)
     EXPECT_DOUBLE_EQ(s.yAt(99, -1.0), -1.0);
     EXPECT_DOUBLE_EQ(s.maxY(), 30.0);
     EXPECT_DOUBLE_EQ(s.argmaxY(), 2.0);
+}
+
+TEST(Series, MergeSumsMatchingPoints)
+{
+    Series a("a");
+    a.add(1, 10, 3);
+    a.add(2, 20, 4);
+    Series b("b");
+    b.add(1, 5);
+    b.add(2, 7, 3);
+    a.merge(b);
+    ASSERT_EQ(a.points.size(), 2u);
+    EXPECT_DOUBLE_EQ(a.yAt(1), 15.0);
+    EXPECT_DOUBLE_EQ(a.yAt(2), 27.0);
+    // Errors add in quadrature: sqrt(4^2 + 3^2) = 5.
+    EXPECT_DOUBLE_EQ(a.points[1].err, 5.0);
+}
+
+TEST(Series, MergeInsertsUnmatchedPointsInOrder)
+{
+    Series a("a");
+    a.add(2, 20);
+    a.add(4, 40);
+    Series b("b");
+    b.add(1, 1);
+    b.add(3, 3);
+    b.add(5, 5);
+    a.merge(b);
+    ASSERT_EQ(a.points.size(), 5u);
+    for (std::size_t i = 0; i < a.points.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.points[i].x, static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(a.yAt(3), 3.0);
+    EXPECT_DOUBLE_EQ(a.yAt(4), 40.0);
+}
+
+TEST(Series, MergeIntoEmptyCopiesOther)
+{
+    Series a("a");
+    Series b("b");
+    b.add(3, 30);
+    b.add(1, 10);
+    a.merge(b);
+    ASSERT_EQ(a.points.size(), 2u);
+    EXPECT_DOUBLE_EQ(a.points[0].x, 1.0);
+    EXPECT_DOUBLE_EQ(a.points[1].x, 3.0);
 }
 
 TEST(Table, PrintAndCsv)
