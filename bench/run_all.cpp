@@ -1,0 +1,7 @@
+#include "core/run_all.hh"
+
+int
+main(int argc, char **argv)
+{
+    return middlesim::core::runAllMain(argc, argv);
+}

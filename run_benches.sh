@@ -1,10 +1,19 @@
 #!/bin/bash
-# Runs every figure bench twice — serial (--jobs=1) and with the
-# default job count — timing each, then writes BENCH_runner.json
-# mapping figure -> {baseline_s, serial_s, parallel_s}. baseline_s is
-# copied from BENCH_baseline.json (pre-optimization serial timings)
-# when that file is present. Pass MIDDLESIM_QUICK=1 for a fast smoke
-# run.
+# Runs every figure bench twice — serial (--jobs=1) and parallel
+# (--jobs=$(nproc), passed explicitly so the pool size never silently
+# falls back to a mis-detected hardware_concurrency) — timing each,
+# then writes BENCH_runner.json mapping figure ->
+# {baseline_s, serial_s, parallel_s} plus a "meta" block recording
+# jobs_used and hardware_concurrency so serial==parallel timings are
+# interpretable (on a 1-cpu container they are expected to match).
+# baseline_s is copied from BENCH_baseline.json (pre-optimization
+# serial timings) when that file is present. Pass MIDDLESIM_QUICK=1
+# for a fast smoke run.
+#
+# Afterwards it times the run_all driver cold (empty --cache-dir) and
+# warm (same dir again) and writes BENCH_cache.json with both timings,
+# the summed per-figure serial seconds, and the dedupe ratio from
+# run_all --stats-out.
 #
 # run_benches.sh --check instead builds two sanitizer-instrumented
 # trees (MIDDLESIM_SANITIZE=thread|address) and runs the concurrency
@@ -16,10 +25,11 @@ if [ "$1" = "--check" ]; then
     cmake -B build-tsan -S . -DMIDDLESIM_SANITIZE=thread \
         > /dev/null
     cmake --build build-tsan -j"$(nproc)" --target \
-        test_parallel test_metrics test_sweep > /dev/null
+        test_parallel test_metrics test_sweep test_cache > /dev/null
     ./build-tsan/tests/test_parallel
     ./build-tsan/tests/test_metrics
     ./build-tsan/tests/test_sweep
+    ./build-tsan/tests/test_cache
     echo "################ sanitizer check: address"
     cmake -B build-asan -S . -DMIDDLESIM_SANITIZE=address \
         > /dev/null
@@ -34,8 +44,12 @@ figures="fig04_scaling fig05_execmodes fig06_cpi fig07_datastall \
          fig11_livemem fig12_icache fig13_dcache fig14_comm_pct \
          fig15_comm_abs fig16_shared"
 
+jobs_parallel=$(nproc)
+
 json="BENCH_runner.json"
 echo "{" > "$json"
+printf '  "meta": {"jobs_serial": 1, "jobs_parallel": %s, "hardware_concurrency": %s},\n' \
+    "$jobs_parallel" "$(nproc)" >> "$json"
 first=1
 
 # Seconds (fractional) elapsed running "$@".
@@ -59,12 +73,14 @@ baseline_for() {
     echo "${v:-null}"
 }
 
+serial_sum=0
 for b in $figures; do
     echo "################ $b"
     time_run ./build/bench/"$b" --jobs=1
     serial="$elapsed_s"
+    serial_sum=$(awk "BEGIN { print $serial_sum + $serial }")
     cat /tmp/middlesim_bench_out.txt
-    time_run ./build/bench/"$b"
+    time_run ./build/bench/"$b" --jobs="$jobs_parallel"
     parallel="$elapsed_s"
     baseline=$(baseline_for "$b")
     echo "--- wall clock: baseline ${baseline}s," \
@@ -78,6 +94,46 @@ done
 echo >> "$json"
 echo "}" >> "$json"
 echo "wrote $json"
+
+# Cold vs warm run_all: the cold leg starts from an empty cache
+# directory (measures in-process dedupe), the warm leg reuses it
+# (measures the disk cache).
+echo "################ run_all (cold cache)"
+cache_dir=$(mktemp -d /tmp/middlesim_cache.XXXXXX)
+stats_json=/tmp/middlesim_runall_stats.json
+time_run ./build/bench/run_all --jobs="$jobs_parallel" \
+    --cache-dir="$cache_dir" --stats-out="$stats_json"
+cold="$elapsed_s"
+echo "################ run_all (warm cache)"
+time_run ./build/bench/run_all --jobs="$jobs_parallel" \
+    --cache-dir="$cache_dir" --stats-out=/dev/null
+warm="$elapsed_s"
+rm -rf "$cache_dir"
+
+stat_of() {
+    grep -o "\"$1\": *[0-9.]*" "$stats_json" | grep -o '[0-9.]*$'
+}
+cache_json="BENCH_cache.json"
+{
+    echo "{"
+    printf '  "schema": "middlesim-bench-cache-v1",\n'
+    printf '  "figures_serial_sum_s": %s,\n' "$serial_sum"
+    printf '  "cold_run_all_s": %s,\n' "$cold"
+    printf '  "warm_run_all_s": %s,\n' "$warm"
+    printf '  "cold_speedup_vs_sum": %s,\n' \
+        "$(awk "BEGIN { print $serial_sum / $cold }")"
+    printf '  "warm_speedup_vs_cold": %s,\n' \
+        "$(awk "BEGIN { print $cold / $warm }")"
+    printf '  "requested_points": %s,\n' "$(stat_of requested_points)"
+    printf '  "unique_points": %s,\n' "$(stat_of unique_points)"
+    printf '  "dedupe_ratio": %s,\n' "$(stat_of dedupe_ratio)"
+    printf '  "jobs_used": %s,\n' "$jobs_parallel"
+    printf '  "hardware_concurrency": %s\n' "$(nproc)"
+    echo "}"
+} > "$cache_json"
+echo "--- wall clock: figures-serial-sum ${serial_sum}s," \
+     "cold run_all ${cold}s, warm run_all ${warm}s"
+echo "wrote $cache_json"
 
 echo "################ ablation_mechanisms"
 ./build/bench/ablation_mechanisms

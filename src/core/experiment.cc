@@ -1,11 +1,35 @@
 #include "core/experiment.hh"
 
+#include <atomic>
+#include <map>
+
+#include "core/cache.hh"
 #include "core/metrics_io.hh"
 #include "sim/log.hh"
 #include "sim/threadpool.hh"
 
 namespace middlesim::core
 {
+
+namespace
+{
+/** Process-wide dedupe accounting (reported by run_all / benches). */
+std::atomic<std::uint64_t> gridRequested{0};
+std::atomic<std::uint64_t> gridUnique{0};
+} // namespace
+
+GridDedupeStats
+gridDedupeStats()
+{
+    return {gridRequested.load(), gridUnique.load()};
+}
+
+void
+resetGridDedupeStats()
+{
+    gridRequested = 0;
+    gridUnique = 0;
+}
 
 unsigned
 ExperimentSpec::resolvedScale() const
@@ -141,10 +165,32 @@ repeatedSpec(const ExperimentSpec &spec, unsigned r)
 std::vector<RunResult>
 runGrid(const std::vector<ExperimentSpec> &specs)
 {
-    std::vector<RunResult> results(specs.size());
+    // Dedupe identical (spec, seed) points by content address: each
+    // unique point simulates once (through the run cache); every
+    // requester of a duplicate receives the same RunResult and shares
+    // the same metrics snapshot.
+    std::vector<std::size_t> firstIndex;
+    std::vector<std::size_t> uniqueOf(specs.size());
+    std::map<std::string, std::size_t> byKey;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        auto [it, inserted] =
+            byKey.emplace(encodeSpecKey(specs[i]), firstIndex.size());
+        if (inserted)
+            firstIndex.push_back(i);
+        uniqueOf[i] = it->second;
+    }
+    gridRequested += specs.size();
+    gridUnique += firstIndex.size();
+
+    std::vector<RunResult> uniqueResults(firstIndex.size());
     sim::ThreadPool::global().parallelFor(
-        specs.size(),
-        [&](std::size_t i) { results[i] = runExperiment(specs[i]); });
+        firstIndex.size(), [&](std::size_t u) {
+            uniqueResults[u] = cachedRunExperiment(specs[firstIndex[u]]);
+        });
+
+    std::vector<RunResult> results(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        results[i] = uniqueResults[uniqueOf[i]];
     return results;
 }
 

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "core/cache.hh"
+#include "core/figures_internal.hh"
 #include "core/paper.hh"
 #include "mem/sweep.hh"
 #include "sim/log.hh"
@@ -74,6 +76,11 @@ FigureOptions::fromEnv()
             opt.timeScale = 0.5;
         }
     }
+    if (const char *ts = std::getenv("MIDDLESIM_TIMESCALE")) {
+        const double v = std::atof(ts);
+        if (v > 0.0)
+            opt.timeScale = v;
+    }
     if (opt.runs == 0)
         opt.runs = 1;
     return opt;
@@ -99,22 +106,7 @@ scalingSweepEntry(const FigureOptions &opt)
     if (it != cache.end())
         return it->second;
 
-    // Flatten every (cpu count, workload, repetition) into one grid
-    // so independent points fan out across the thread pool together;
-    // seeds come from repeatedSpec(), so the regrouped results are
-    // identical to per-point runRepeated() calls.
-    std::vector<ExperimentSpec> specs;
-    for (double cpus_d : paper::cpuSweep()) {
-        const auto cpus = static_cast<unsigned>(cpus_d);
-        for (unsigned r = 0; r < opt.runs; ++r) {
-            specs.push_back(repeatedSpec(
-                scalingSpec(WorkloadKind::Ecperf, cpus, opt), r));
-        }
-        for (unsigned r = 0; r < opt.runs; ++r) {
-            specs.push_back(repeatedSpec(
-                scalingSpec(WorkloadKind::SpecJbb, cpus, opt), r));
-        }
-    }
+    const std::vector<ExperimentSpec> specs = scalingGridSpecs(opt);
     const std::vector<RunResult> results = runGrid(specs);
 
     SweepCacheEntry entry;
@@ -135,6 +127,28 @@ scalingSweepEntry(const FigureOptions &opt)
 }
 
 } // namespace
+
+std::vector<ExperimentSpec>
+scalingGridSpecs(const FigureOptions &opt)
+{
+    // Flatten every (cpu count, workload, repetition) into one grid
+    // so independent points fan out across the thread pool together;
+    // seeds come from repeatedSpec(), so the regrouped results are
+    // identical to per-point runRepeated() calls.
+    std::vector<ExperimentSpec> specs;
+    for (double cpus_d : paper::cpuSweep()) {
+        const auto cpus = static_cast<unsigned>(cpus_d);
+        for (unsigned r = 0; r < opt.runs; ++r) {
+            specs.push_back(repeatedSpec(
+                scalingSpec(WorkloadKind::Ecperf, cpus, opt), r));
+        }
+        for (unsigned r = 0; r < opt.runs; ++r) {
+            specs.push_back(repeatedSpec(
+                scalingSpec(WorkloadKind::SpecJbb, cpus, opt), r));
+        }
+    }
+    return specs;
+}
 
 const std::vector<ScalingPoint> &
 scalingSweep(const FigureOptions &opt)
@@ -580,6 +594,104 @@ runFig09(const FigureOptions &opt)
 // Figure 10: copyback rate over time (GC windows)
 // ---------------------------------------------------------------------
 
+namespace
+{
+
+/** The Figure 10 experiment configuration. */
+ExperimentSpec
+fig10Spec(const FigureOptions &opt)
+{
+    ExperimentSpec spec = scalingSpec(WorkloadKind::SpecJbb, 8, opt);
+    spec.measure = static_cast<sim::Tick>(340'000'000 * opt.timeScale);
+    // A larger young generation for the timeline: with a compressed
+    // nursery a noticeable fraction of from-space is still cached,
+    // blurring the copyback collapse the paper observes.
+    spec.sys.jvm.heap.newGenBytes = 48ULL << 20;
+    return spec;
+}
+
+std::string
+encodeFig10(const Fig10Data &d)
+{
+    sim::ByteWriter w;
+    w.u64(d.t0);
+    w.vecU64(d.bins);
+    w.u64(d.gcWindows.size());
+    for (const auto &[start, end] : d.gcWindows) {
+        w.u64(start);
+        w.u64(end);
+    }
+    w.str(d.point);
+    encodeSnapshot(w, d.snap);
+    return w.take();
+}
+
+bool
+decodeFig10(const std::string &payload, Fig10Data &out)
+{
+    sim::ByteReader r(payload);
+    Fig10Data d;
+    d.t0 = r.u64();
+    d.bins = r.vecU64();
+    const std::uint64_t windows = r.u64();
+    for (std::uint64_t i = 0; r.ok() && i < windows; ++i) {
+        const sim::Tick start = r.u64();
+        const sim::Tick end = r.u64();
+        d.gcWindows.emplace_back(start, end);
+    }
+    d.point = r.str();
+    d.snap = decodeSnapshot(r);
+    if (!r.atEnd())
+        return false;
+    out = std::move(d);
+    return true;
+}
+
+Fig10Data
+fig10Leaf(const FigureOptions &opt)
+{
+    const ExperimentSpec spec = fig10Spec(opt);
+    BuiltWorkload workload;
+    auto system = buildSystem(spec, workload);
+    system->run(spec.warmup);
+    system->beginMeasurement();
+
+    // Timeline bins are indexed by absolute time.
+    const sim::Tick t0 = system->now();
+    system->memory().enableTimeline(
+        fig10BinWidth,
+        static_cast<unsigned>((t0 + spec.measure) / fig10BinWidth) + 2);
+    system->run(spec.measure);
+
+    Fig10Data d;
+    d.t0 = t0;
+    d.bins = system->memory().timeline()->bins();
+    for (const auto &rec : system->vm().stats().log)
+        d.gcWindows.emplace_back(rec.start, rec.start + rec.duration);
+    d.point = pointName(spec);
+    d.snap = collectMetrics(*system, spec, workload);
+    return d;
+}
+
+} // namespace
+
+Fig10Data
+cachedFig10Data(const FigureOptions &opt)
+{
+    const std::string key = encodeSpecKey(fig10Spec(opt));
+    RunCache &cache = RunCache::global();
+    std::string payload;
+    if (cache.fetch("fig10", key, payload)) {
+        Fig10Data d;
+        if (decodeFig10(payload, d))
+            return d;
+        warn("cache: undecodable 'fig10' payload; re-simulating");
+    }
+    Fig10Data fresh = fig10Leaf(opt);
+    cache.store("fig10", key, encodeFig10(fresh));
+    return fresh;
+}
+
 FigureResult
 runFig10(const FigureOptions &opt)
 {
@@ -588,26 +700,10 @@ runFig10(const FigureOptions &opt)
     fig.title =
         "Cache-to-cache transfers per second over time (SPECjbb)";
 
-    ExperimentSpec spec = scalingSpec(WorkloadKind::SpecJbb, 8, opt);
-    spec.measure = static_cast<sim::Tick>(340'000'000 * opt.timeScale);
-    // A larger young generation for the timeline: with a compressed
-    // nursery a noticeable fraction of from-space is still cached,
-    // blurring the copyback collapse the paper observes.
-    spec.sys.jvm.heap.newGenBytes = 48ULL << 20;
-
-    BuiltWorkload workload;
-    auto system = buildSystem(spec, workload);
-    system->run(spec.warmup);
-    system->beginMeasurement();
-
-    const sim::Tick bin = 250'000; // ~1 ms at 248 MHz
-    // Timeline bins are indexed by absolute time.
-    const sim::Tick t0 = system->now();
-    system->memory().enableTimeline(bin, static_cast<unsigned>(
-        (t0 + spec.measure) / bin) + 2);
-    system->run(spec.measure);
-
-    const auto &timeline = system->memory().timeline()->bins();
+    const Fig10Data data = cachedFig10Data(opt);
+    const sim::Tick bin = fig10BinWidth;
+    const sim::Tick t0 = data.t0;
+    const auto &timeline = data.bins;
     const auto first_bin = static_cast<std::size_t>(t0 / bin);
 
     // Normalize to the peak rate, as the paper does.
@@ -621,10 +717,9 @@ runFig10(const FigureOptions &opt)
     // Identify GC windows from the collection log.
     // A bin counts as in-GC only when it lies fully inside the
     // collection window (edge bins mix application activity).
-    const auto &log = system->vm().stats().log;
     auto inGc = [&](sim::Tick lo, sim::Tick hi) {
-        for (const auto &rec : log) {
-            if (lo >= rec.start && hi <= rec.start + rec.duration)
+        for (const auto &[start, end] : data.gcWindows) {
+            if (lo >= start && hi <= end)
                 return true;
         }
         return false;
@@ -650,14 +745,14 @@ runFig10(const FigureOptions &opt)
         }
     }
 
-    fig.metricsByPoint.emplace(
-        pointName(spec), collectMetrics(*system, spec, workload));
+    fig.metricsByPoint.emplace(data.point, data.snap);
 
     const double in_mean = in_n ? in_sum / in_n : 0.0;
     const double out_mean = out_n ? out_sum / out_n : 1.0;
     fig.checks.push_back(check(
         "at least 3 collections occur in the interval",
-        log.size() >= 3, std::to_string(log.size()) + " collections"));
+        data.gcWindows.size() >= 3,
+        std::to_string(data.gcWindows.size()) + " collections"));
     fig.checks.push_back(check(
         "copyback rate collapses during garbage collection",
         in_n > 0 && in_mean < 0.35 * out_mean,

@@ -9,7 +9,9 @@
 #include <memory>
 #include <sstream>
 
+#include "core/cache.hh"
 #include "core/figures.hh"
+#include "core/figures_internal.hh"
 #include "core/paper.hh"
 #include "mem/sweep.hh"
 #include "sim/log.hh"
@@ -50,20 +52,20 @@ baseSpec(WorkloadKind kind, unsigned cpus, const FigureOptions &opt)
     return spec;
 }
 
-/** One Figure 11 measurement plus its metrics snapshot. */
-struct LivePoint
+/** The Figure 11 experiment configuration for one scale point. */
+ExperimentSpec
+liveSpec(WorkloadKind kind, unsigned scale, const FigureOptions &opt)
 {
-    double mb = 0.0;
-    std::string point;
-    sim::MetricSnapshot snap;
-};
+    ExperimentSpec spec = baseSpec(kind, 8, opt);
+    spec.scale = scale;
+    return spec;
+}
 
 /** Run one scale point until at least `min_gcs` collections happen. */
 LivePoint
 liveAfterGc(WorkloadKind kind, unsigned scale, const FigureOptions &opt)
 {
-    ExperimentSpec spec = baseSpec(kind, 8, opt);
-    spec.scale = scale;
+    const ExperimentSpec spec = liveSpec(kind, scale, opt);
     BuiltWorkload workload;
     auto system = buildSystem(spec, workload);
     system->run(spec.warmup);
@@ -91,11 +93,10 @@ liveAfterGc(WorkloadKind kind, unsigned scale, const FigureOptions &opt)
     return out;
 }
 
-/** Uniprocessor full-system run feeding the multi-size cache sweep. */
-void
-runSweepPoint(WorkloadKind kind, unsigned scale,
-              const FigureOptions &opt, mem::SweepSimulator &sweep,
-              std::pair<std::string, sim::MetricSnapshot> &metrics_out)
+/** The Figure 12/13 uniprocessor sweep configuration. */
+ExperimentSpec
+sweepPointSpec(WorkloadKind kind, unsigned scale,
+               const FigureOptions &opt)
 {
     ExperimentSpec spec = baseSpec(kind, 1, opt);
     spec.totalCpus = 1; // uniprocessor full-system configuration
@@ -104,6 +105,16 @@ runSweepPoint(WorkloadKind kind, unsigned scale,
     // caches see enough references.
     spec.measure = static_cast<sim::Tick>(
         static_cast<double>(spec.measure) * 3.0);
+    return spec;
+}
+
+/** Uniprocessor full-system run feeding the multi-size cache sweep. */
+SweepOutcome
+runSweepPoint(WorkloadKind kind, unsigned scale,
+              const FigureOptions &opt)
+{
+    const ExperimentSpec spec = sweepPointSpec(kind, scale, opt);
+    mem::SweepSimulator sweep{mem::SweepSimulator::paperSweep()};
 
     BuiltWorkload workload;
     auto system = buildSystem(spec, workload);
@@ -116,8 +127,14 @@ runSweepPoint(WorkloadKind kind, unsigned scale,
     system->run(spec.measure);
     sweep.countInstructions(system->appCpi().instructions);
     system->memory().setSweepTap(nullptr);
-    metrics_out = {pointName(spec),
-                   collectMetrics(*system, spec, workload)};
+
+    SweepOutcome out;
+    out.icache = sweep.icacheResults();
+    out.dcache = sweep.dcacheResults();
+    out.instructions = sweep.instructions();
+    out.point = pointName(spec);
+    out.snap = collectMetrics(*system, spec, workload);
+    return out;
 }
 
 /** Shared-cache configuration point for Figure 16. */
@@ -139,11 +156,181 @@ dataMpki(const RunResult &r)
            static_cast<double>(r.cpi.instructions);
 }
 
+// ---------------------------------------------------------------------
+// Leaf payload codecs (bit-exact; see core/cache.hh)
+// ---------------------------------------------------------------------
+
+std::string
+encodeLivePoint(const LivePoint &p)
+{
+    sim::ByteWriter w;
+    w.f64(p.mb);
+    w.str(p.point);
+    encodeSnapshot(w, p.snap);
+    return w.take();
+}
+
+bool
+decodeLivePoint(const std::string &payload, LivePoint &out)
+{
+    sim::ByteReader r(payload);
+    LivePoint p;
+    p.mb = r.f64();
+    p.point = r.str();
+    p.snap = decodeSnapshot(r);
+    if (!r.atEnd())
+        return false;
+    out = std::move(p);
+    return true;
+}
+
+void
+encodeSweepResults(sim::ByteWriter &w,
+                   const std::vector<mem::SweepResult> &results)
+{
+    w.u64(results.size());
+    for (const auto &res : results) {
+        w.u64(res.params.sizeBytes);
+        w.u32(res.params.assoc);
+        w.u32(res.params.blockBytes);
+        w.u64(res.accesses);
+        w.u64(res.misses);
+    }
+}
+
+std::vector<mem::SweepResult>
+decodeSweepResults(sim::ByteReader &r)
+{
+    std::vector<mem::SweepResult> results;
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; r.ok() && i < n; ++i) {
+        mem::SweepResult res;
+        res.params.sizeBytes = r.u64();
+        res.params.assoc = r.u32();
+        res.params.blockBytes = r.u32();
+        res.accesses = r.u64();
+        res.misses = r.u64();
+        results.push_back(res);
+    }
+    return results;
+}
+
+std::string
+encodeSweepOutcome(const SweepOutcome &o)
+{
+    sim::ByteWriter w;
+    encodeSweepResults(w, o.icache);
+    encodeSweepResults(w, o.dcache);
+    w.u64(o.instructions);
+    w.str(o.point);
+    encodeSnapshot(w, o.snap);
+    return w.take();
+}
+
+bool
+decodeSweepOutcome(const std::string &payload, SweepOutcome &out)
+{
+    sim::ByteReader r(payload);
+    SweepOutcome o;
+    o.icache = decodeSweepResults(r);
+    o.dcache = decodeSweepResults(r);
+    o.instructions = r.u64();
+    o.point = r.str();
+    o.snap = decodeSnapshot(r);
+    if (!r.atEnd())
+        return false;
+    out = std::move(o);
+    return true;
+}
+
+std::string
+encodeCommPoint(const CommPoint &p)
+{
+    sim::ByteWriter w;
+    w.vecU64(p.curve.counts());
+    w.u64(p.touchedLines);
+    w.str(p.point);
+    encodeSnapshot(w, p.snap);
+    return w.take();
+}
+
+bool
+decodeCommPoint(const std::string &payload, CommPoint &out)
+{
+    sim::ByteReader r(payload);
+    CommPoint p;
+    p.curve = stats::ConcentrationCurve(r.vecU64());
+    p.touchedLines = r.u64();
+    p.point = r.str();
+    p.snap = decodeSnapshot(r);
+    if (!r.atEnd())
+        return false;
+    out = std::move(p);
+    return true;
+}
+
+/** fetch-decode-or-simulate-and-store, shared by the leaf kinds. */
+template <typename T, typename Decode, typename Encode, typename Run>
+T
+throughCache(const char *kind, const ExperimentSpec &spec,
+             Decode decode, Encode encode, Run run)
+{
+    const std::string key = encodeSpecKey(spec);
+    RunCache &cache = RunCache::global();
+    std::string payload;
+    if (cache.fetch(kind, key, payload)) {
+        T cached;
+        if (decode(payload, cached))
+            return cached;
+        warn("cache: undecodable '", kind,
+             "' payload; re-simulating");
+    }
+    T fresh = run();
+    cache.store(kind, key, encode(fresh));
+    return fresh;
+}
+
 } // namespace
+
+LivePoint
+cachedLivePoint(WorkloadKind kind, unsigned scale,
+                const FigureOptions &opt)
+{
+    return throughCache<LivePoint>(
+        "live", liveSpec(kind, scale, opt), decodeLivePoint,
+        encodeLivePoint,
+        [&] { return liveAfterGc(kind, scale, opt); });
+}
+
+SweepOutcome
+cachedSweepOutcome(WorkloadKind kind, unsigned scale,
+                   const FigureOptions &opt)
+{
+    return throughCache<SweepOutcome>(
+        "sweep", sweepPointSpec(kind, scale, opt), decodeSweepOutcome,
+        encodeSweepOutcome,
+        [&] { return runSweepPoint(kind, scale, opt); });
+}
 
 // ---------------------------------------------------------------------
 // Figure 11: memory use vs scale factor
 // ---------------------------------------------------------------------
+
+const std::vector<unsigned> &
+fig11JbbScales()
+{
+    static const std::vector<unsigned> scales = {1, 5, 10, 15, 20, 25,
+                                                 30, 35, 40};
+    return scales;
+}
+
+const std::vector<unsigned> &
+fig11EcperfScales()
+{
+    static const std::vector<unsigned> scales = {1, 2, 4, 6, 10, 15,
+                                                 20, 30, 40};
+    return scales;
+}
 
 FigureResult
 runFig11(const FigureOptions &opt)
@@ -152,10 +339,8 @@ runFig11(const FigureOptions &opt)
     fig.id = "fig11";
     fig.title = "Live memory after collection vs scale factor (MB)";
 
-    const std::vector<unsigned> jbb_scales = {1, 5, 10, 15, 20, 25,
-                                              30, 35, 40};
-    const std::vector<unsigned> ec_scales = {1, 2, 4, 6, 10, 15, 20,
-                                             30, 40};
+    const std::vector<unsigned> &jbb_scales = fig11JbbScales();
+    const std::vector<unsigned> &ec_scales = fig11EcperfScales();
 
     // Every scale point is an independent run: fan them all out.
     sim::ThreadPool &pool = sim::ThreadPool::global();
@@ -163,10 +348,10 @@ runFig11(const FigureOptions &opt)
     for (std::size_t i = 0; i < jbb_scales.size(); ++i) {
         const unsigned js = jbb_scales[i], es = ec_scales[i];
         jbb_f.push_back(pool.submit([js, opt] {
-            return liveAfterGc(WorkloadKind::SpecJbb, js, opt);
+            return cachedLivePoint(WorkloadKind::SpecJbb, js, opt);
         }));
         ec_f.push_back(pool.submit([es, opt] {
-            return liveAfterGc(WorkloadKind::Ecperf, es, opt);
+            return cachedLivePoint(WorkloadKind::Ecperf, es, opt);
         }));
     }
 
@@ -222,19 +407,17 @@ namespace
 
 struct SweepSet
 {
-    mem::SweepSimulator ecperf{mem::SweepSimulator::paperSweep()};
-    mem::SweepSimulator jbb1{mem::SweepSimulator::paperSweep()};
-    mem::SweepSimulator jbb10{mem::SweepSimulator::paperSweep()};
-    mem::SweepSimulator jbb25{mem::SweepSimulator::paperSweep()};
-    /** Per-point (name, snapshot), filled by each sweep's own run. */
-    std::pair<std::string, sim::MetricSnapshot> snaps[4];
+    SweepOutcome ecperf;
+    SweepOutcome jbb1;
+    SweepOutcome jbb10;
+    SweepOutcome jbb25;
 
     MetricsMap
     metrics() const
     {
         MetricsMap map;
-        for (const auto &[name, snap] : snaps)
-            map.emplace(name, snap);
+        for (const SweepOutcome *o : {&ecperf, &jbb1, &jbb10, &jbb25})
+            map.emplace(o->point, o->snap);
         return map;
     }
 };
@@ -255,25 +438,21 @@ sweepSet(const FigureOptions &opt)
     cached_seed = opt.seed;
     cached_scale = scale_key;
     // The four uniprocessor sweeps are independent simulations; run
-    // them concurrently (each owns its SweepSimulator).
+    // them concurrently.
     sim::ThreadPool &pool = sim::ThreadPool::global();
     SweepSet &set = *cached;
     std::vector<std::future<void>> points;
     points.push_back(pool.submit([&set, opt] {
-        runSweepPoint(WorkloadKind::Ecperf, 8, opt, set.ecperf,
-                      set.snaps[0]);
+        set.ecperf = cachedSweepOutcome(WorkloadKind::Ecperf, 8, opt);
     }));
     points.push_back(pool.submit([&set, opt] {
-        runSweepPoint(WorkloadKind::SpecJbb, 1, opt, set.jbb1,
-                      set.snaps[1]);
+        set.jbb1 = cachedSweepOutcome(WorkloadKind::SpecJbb, 1, opt);
     }));
     points.push_back(pool.submit([&set, opt] {
-        runSweepPoint(WorkloadKind::SpecJbb, 10, opt, set.jbb10,
-                      set.snaps[2]);
+        set.jbb10 = cachedSweepOutcome(WorkloadKind::SpecJbb, 10, opt);
     }));
     points.push_back(pool.submit([&set, opt] {
-        runSweepPoint(WorkloadKind::SpecJbb, 25, opt, set.jbb25,
-                      set.snaps[3]);
+        set.jbb25 = cachedSweepOutcome(WorkloadKind::SpecJbb, 25, opt);
     }));
     for (auto &f : points)
         f.get();
@@ -296,7 +475,7 @@ runFig12(const FigureOptions &opt)
         j25("specjbb-25");
     Table table({"size(KB)", "ecperf", "jbb-1", "jbb-10", "jbb-25",
                  "paper-ec", "paper-jbb"});
-    const auto &configs = set.ecperf.icacheResults();
+    const auto &configs = set.ecperf.icache;
     for (std::size_t i = 0; i < configs.size(); ++i) {
         const double kb =
             static_cast<double>(configs[i].params.sizeBytes) / 1024.0;
@@ -356,7 +535,7 @@ runFig13(const FigureOptions &opt)
         j25("specjbb-25");
     Table table({"size(KB)", "ecperf", "jbb-1", "jbb-10", "jbb-25",
                  "paper-ec", "paper-jbb25"});
-    const auto &configs = set.ecperf.dcacheResults();
+    const auto &configs = set.ecperf.dcache;
     for (std::size_t i = 0; i < configs.size(); ++i) {
         const double kb =
             static_cast<double>(configs[i].params.sizeBytes) / 1024.0;
@@ -418,23 +597,24 @@ runFig13(const FigureOptions &opt)
 namespace
 {
 
-struct CommPoint
-{
-    stats::ConcentrationCurve curve{std::vector<std::uint64_t>{}};
-    std::uint64_t touchedLines = 0;
-    std::string point;
-    sim::MetricSnapshot snap;
-};
-
-CommPoint
-commFootprint(WorkloadKind kind, unsigned cpus, unsigned scale,
-              const FigureOptions &opt)
+/** The Figure 14/15 communication-tracking configuration. */
+ExperimentSpec
+commSpec(WorkloadKind kind, unsigned cpus, unsigned scale,
+         const FigureOptions &opt)
 {
     ExperimentSpec spec = baseSpec(kind, cpus, opt);
     spec.scale = scale;
     spec.trackCommunication = true;
     spec.measure = static_cast<sim::Tick>(
         static_cast<double>(spec.measure) * 1.5);
+    return spec;
+}
+
+CommPoint
+commFootprint(WorkloadKind kind, unsigned cpus, unsigned scale,
+              const FigureOptions &opt)
+{
+    const ExperimentSpec spec = commSpec(kind, cpus, scale, opt);
     BuiltWorkload workload;
     auto system = buildSystem(spec, workload);
     const RunResult res = measure(*system, spec, workload);
@@ -461,12 +641,14 @@ commSet(const FigureOptions &opt)
         cached = std::make_unique<CommSet>();
         sim::ThreadPool &pool = sim::ThreadPool::global();
         auto jbb_f = pool.submit([opt] {
-            return commFootprint(WorkloadKind::SpecJbb, 15, 15, opt);
+            return cachedCommFootprint(WorkloadKind::SpecJbb, 15, 15,
+                                       opt);
         });
         // The paper binds the ECperf application server to 8 of the
         // 16 processors and filters to those.
         auto ec_f = pool.submit([opt] {
-            return commFootprint(WorkloadKind::Ecperf, 8, 8, opt);
+            return cachedCommFootprint(WorkloadKind::Ecperf, 8, 8,
+                                       opt);
         });
         cached->jbb = jbb_f.get();
         cached->ec = ec_f.get();
@@ -487,6 +669,16 @@ ecComm(const FigureOptions &opt)
 }
 
 } // namespace
+
+CommPoint
+cachedCommFootprint(WorkloadKind kind, unsigned cpus, unsigned scale,
+                    const FigureOptions &opt)
+{
+    return throughCache<CommPoint>(
+        "comm", commSpec(kind, cpus, scale, opt), decodeCommPoint,
+        encodeCommPoint,
+        [&] { return commFootprint(kind, cpus, scale, opt); });
+}
 
 FigureResult
 runFig14(const FigureOptions &opt)
@@ -601,6 +793,20 @@ runFig15(const FigureOptions &opt)
 // Figure 16: shared caches
 // ---------------------------------------------------------------------
 
+std::vector<ExperimentSpec>
+fig16GridSpecs(const FigureOptions &opt)
+{
+    const std::vector<unsigned> shares = {1, 2, 4, 8};
+    std::vector<ExperimentSpec> specs;
+    for (unsigned share : shares) {
+        specs.push_back(
+            sharedCacheSpec(WorkloadKind::Ecperf, 8, share, opt));
+        specs.push_back(
+            sharedCacheSpec(WorkloadKind::SpecJbb, 25, share, opt));
+    }
+    return specs;
+}
+
 FigureResult
 runFig16(const FigureOptions &opt)
 {
@@ -610,13 +816,7 @@ runFig16(const FigureOptions &opt)
         "Data miss rate with 1 MB L2s shared by 1/2/4/8 processors";
 
     const std::vector<unsigned> shares = {1, 2, 4, 8};
-    std::vector<ExperimentSpec> specs;
-    for (unsigned share : shares) {
-        specs.push_back(
-            sharedCacheSpec(WorkloadKind::Ecperf, 8, share, opt));
-        specs.push_back(
-            sharedCacheSpec(WorkloadKind::SpecJbb, 25, share, opt));
-    }
+    const std::vector<ExperimentSpec> specs = fig16GridSpecs(opt);
     const std::vector<RunResult> results = runGrid(specs);
     for (std::size_t i = 0; i < specs.size(); ++i)
         fig.metricsByPoint.emplace(pointName(specs[i]),

@@ -5,12 +5,30 @@
 #include <iostream>
 #include <string>
 
+#include "core/cache.hh"
 #include "core/metrics_io.hh"
 #include "sim/log.hh"
 #include "sim/threadpool.hh"
 
 namespace middlesim::core
 {
+
+void
+configureRunCache(const std::string &cache_dir, bool no_cache)
+{
+    if (no_cache) {
+        RunCache::global().setDiskDir("");
+        return;
+    }
+    if (!cache_dir.empty()) {
+        RunCache::global().setDiskDir(cache_dir);
+        return;
+    }
+    if (const char *env = std::getenv("MIDDLESIM_CACHE")) {
+        if (*env != '\0')
+            RunCache::global().setDiskDir(env);
+    }
+}
 
 void
 printFigure(const FigureResult &fig, std::ostream &os)
@@ -31,6 +49,8 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
            char **argv)
 {
     std::string metrics_out;
+    std::string cache_dir;
+    bool no_cache = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--jobs=", 0) == 0) {
@@ -45,11 +65,20 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
             if (metrics_out.empty())
                 fatal("figureMain: bad flag '", arg,
                            "' (want --metrics-out=PATH)");
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cache_dir = arg.substr(12);
+            if (cache_dir.empty())
+                fatal("figureMain: bad flag '", arg,
+                           "' (want --cache-dir=PATH)");
+        } else if (arg == "--no-cache") {
+            no_cache = true;
         } else {
             fatal("figureMain: unknown flag '", arg,
-                       "' (supported: --jobs=N, --metrics-out=PATH)");
+                       "' (supported: --jobs=N, --metrics-out=PATH, "
+                       "--cache-dir=PATH, --no-cache)");
         }
     }
+    configureRunCache(cache_dir, no_cache);
 
     const FigureOptions opt = FigureOptions::fromEnv();
     const FigureResult fig = harness(opt);

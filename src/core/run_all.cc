@@ -1,0 +1,245 @@
+#include "core/run_all.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cache.hh"
+#include "core/figures_internal.hh"
+#include "core/metrics_io.hh"
+#include "core/report.hh"
+#include "sim/log.hh"
+#include "sim/metrics.hh"
+#include "sim/threadpool.hh"
+
+namespace middlesim::core
+{
+
+namespace
+{
+
+/** One leaf simulation a figure needs, addressed for deduplication. */
+struct WorkItem
+{
+    /** Content address: "<kind>:<canonical spec key>". */
+    std::string id;
+    std::function<void()> run;
+};
+
+struct FigureJob
+{
+    const char *id;
+    FigureResult (*harness)(const FigureOptions &);
+};
+
+constexpr FigureJob kFigures[] = {
+    {"fig04", runFig04}, {"fig05", runFig05}, {"fig06", runFig06},
+    {"fig07", runFig07}, {"fig08", runFig08}, {"fig09", runFig09},
+    {"fig10", runFig10}, {"fig11", runFig11}, {"fig12", runFig12},
+    {"fig13", runFig13}, {"fig14", runFig14}, {"fig15", runFig15},
+    {"fig16", runFig16},
+};
+
+void
+addGridItems(std::vector<WorkItem> &items,
+             const std::vector<ExperimentSpec> &specs)
+{
+    for (const ExperimentSpec &spec : specs) {
+        items.push_back({"run:" + encodeSpecKey(spec),
+                         [spec] { cachedRunExperiment(spec); }});
+    }
+}
+
+/**
+ * The leaf simulations figure `fig` consumes. Ids are content
+ * addresses, so identical points requested by different figures
+ * collapse to one unit of work.
+ */
+std::vector<WorkItem>
+figureWork(const std::string &fig, const FigureOptions &opt)
+{
+    std::vector<WorkItem> items;
+    if (fig >= "fig04" && fig <= "fig09") {
+        addGridItems(items, scalingGridSpecs(opt));
+    } else if (fig == "fig10") {
+        items.push_back(
+            {"fig10:", [opt] { cachedFig10Data(opt); }});
+    } else if (fig == "fig11") {
+        for (unsigned s : fig11JbbScales()) {
+            items.push_back({"live:jbb:" + std::to_string(s), [s, opt] {
+                cachedLivePoint(WorkloadKind::SpecJbb, s, opt);
+            }});
+        }
+        for (unsigned s : fig11EcperfScales()) {
+            items.push_back({"live:ec:" + std::to_string(s), [s, opt] {
+                cachedLivePoint(WorkloadKind::Ecperf, s, opt);
+            }});
+        }
+    } else if (fig == "fig12" || fig == "fig13") {
+        items.push_back({"sweep:ec:8", [opt] {
+            cachedSweepOutcome(WorkloadKind::Ecperf, 8, opt);
+        }});
+        for (unsigned s : {1u, 10u, 25u}) {
+            items.push_back({"sweep:jbb:" + std::to_string(s),
+                             [s, opt] {
+                cachedSweepOutcome(WorkloadKind::SpecJbb, s, opt);
+            }});
+        }
+    } else if (fig == "fig14" || fig == "fig15") {
+        items.push_back({"comm:jbb:15:15", [opt] {
+            cachedCommFootprint(WorkloadKind::SpecJbb, 15, 15, opt);
+        }});
+        items.push_back({"comm:ec:8:8", [opt] {
+            cachedCommFootprint(WorkloadKind::Ecperf, 8, 8, opt);
+        }});
+    } else if (fig == "fig16") {
+        addGridItems(items, fig16GridSpecs(opt));
+    }
+    return items;
+}
+
+void
+writeStatsJson(std::ostream &os, std::uint64_t requested,
+               std::uint64_t unique, double prefetch_seconds)
+{
+    const RunCache::Stats cs = RunCache::global().stats();
+    const GridDedupeStats gs = gridDedupeStats();
+    os << "{\n"
+       << "  \"schema\": \"middlesim-runall-stats-v1\",\n"
+       << "  \"requested_points\": " << requested << ",\n"
+       << "  \"unique_points\": " << unique << ",\n"
+       << "  \"dedupe_ratio\": "
+       << sim::formatDouble(
+              requested ? static_cast<double>(unique) /
+                              static_cast<double>(requested)
+                        : 1.0)
+       << ",\n"
+       << "  \"prefetch_seconds\": "
+       << sim::formatDouble(prefetch_seconds) << ",\n"
+       << "  \"grid_requested\": " << gs.requested << ",\n"
+       << "  \"grid_unique\": " << gs.unique << ",\n"
+       << "  \"cache_memory_hits\": " << cs.memoryHits << ",\n"
+       << "  \"cache_disk_hits\": " << cs.diskHits << ",\n"
+       << "  \"cache_misses\": " << cs.misses << ",\n"
+       << "  \"cache_stores\": " << cs.stores << ",\n"
+       << "  \"jobs_used\": " << sim::ThreadPool::global().jobs()
+       << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << "\n"
+       << "}\n";
+}
+
+} // namespace
+
+int
+runAllMain(int argc, char **argv)
+{
+    std::string metrics_dir;
+    std::string stats_out;
+    std::string cache_dir;
+    bool no_cache = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            const long jobs = std::strtol(arg.c_str() + 7, nullptr, 10);
+            if (jobs < 1)
+                fatal("run_all: bad flag '", arg,
+                      "' (want --jobs=N with N >= 1)");
+            sim::ThreadPool::setGlobalJobs(static_cast<unsigned>(jobs));
+        } else if (arg.rfind("--metrics-dir=", 0) == 0) {
+            metrics_dir = arg.substr(14);
+            if (metrics_dir.empty())
+                fatal("run_all: bad flag '", arg,
+                      "' (want --metrics-dir=DIR)");
+        } else if (arg.rfind("--stats-out=", 0) == 0) {
+            stats_out = arg.substr(12);
+            if (stats_out.empty())
+                fatal("run_all: bad flag '", arg,
+                      "' (want --stats-out=PATH)");
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cache_dir = arg.substr(12);
+            if (cache_dir.empty())
+                fatal("run_all: bad flag '", arg,
+                      "' (want --cache-dir=PATH)");
+        } else if (arg == "--no-cache") {
+            no_cache = true;
+        } else {
+            fatal("run_all: unknown flag '", arg,
+                  "' (supported: --jobs=N, --metrics-dir=DIR, "
+                  "--stats-out=PATH, --cache-dir=PATH, --no-cache)");
+        }
+    }
+    configureRunCache(cache_dir, no_cache);
+
+    const FigureOptions opt = FigureOptions::fromEnv();
+
+    // Global work queue: every leaf every figure needs, deduplicated
+    // by content address.
+    std::vector<WorkItem> unique_items;
+    std::set<std::string> seen;
+    std::uint64_t requested = 0;
+    for (const FigureJob &job : kFigures) {
+        for (WorkItem &item : figureWork(job.id, opt)) {
+            ++requested;
+            if (seen.insert(item.id).second)
+                unique_items.push_back(std::move(item));
+        }
+    }
+    std::fprintf(stderr,
+                 "run_all: %llu leaf points requested by 13 figures, "
+                 "%zu unique after dedupe (jobs=%u)\n",
+                 static_cast<unsigned long long>(requested),
+                 unique_items.size(),
+                 sim::ThreadPool::global().jobs());
+
+    // Prefetch: one flat fan-out over the unique points. Leaf tasks
+    // never submit nested pool work, so this cannot deadlock.
+    const auto t_start = std::chrono::steady_clock::now();
+    sim::ThreadPool::global().parallelFor(
+        unique_items.size(),
+        [&](std::size_t i) { unique_items[i].run(); });
+    const double prefetch_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t_start)
+            .count();
+    std::fprintf(stderr, "run_all: prefetch done in %.2f s\n",
+                 prefetch_seconds);
+
+    // Render every figure (now assembled from memo hits), emitting
+    // exactly what the individual drivers would print.
+    bool all_pass = true;
+    for (const FigureJob &job : kFigures) {
+        const FigureResult fig = job.harness(opt);
+        printFigure(fig, std::cout);
+        all_pass = all_pass && fig.allPass();
+        if (!metrics_dir.empty()) {
+            const std::string path =
+                metrics_dir + "/" + fig.id + ".json";
+            std::ofstream os(path);
+            if (!os)
+                fatal("run_all: cannot open '", path,
+                      "' for writing");
+            writeMetricsJson(os, fig.id, fig.metricsByPoint);
+        }
+    }
+
+    if (!stats_out.empty()) {
+        std::ofstream os(stats_out);
+        if (!os)
+            fatal("run_all: cannot open '", stats_out,
+                  "' for writing");
+        writeStatsJson(os, requested,
+                       static_cast<std::uint64_t>(unique_items.size()),
+                       prefetch_seconds);
+    }
+    return all_pass ? 0 : 1;
+}
+
+} // namespace middlesim::core

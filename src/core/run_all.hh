@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The all-figures runner: every figure of the paper off one global
+ * deduplicated work queue.
+ */
+
+#ifndef CORE_RUN_ALL_HH
+#define CORE_RUN_ALL_HH
+
+namespace middlesim::core
+{
+
+/**
+ * main() body of the run_all driver. Enumerates the leaf simulations
+ * of all 13 figures, deduplicates them by content address, prefetches
+ * the unique points across the thread pool, then renders each figure
+ * in order — emitting output byte-identical to running the individual
+ * drivers back to back.
+ *
+ * Flags: `--jobs=N`, `--cache-dir=PATH`, `--no-cache` (as
+ * figureMain); `--metrics-dir=DIR` writes one metrics document per
+ * figure (DIR/<fig>.json, identical to the driver's --metrics-out);
+ * `--stats-out=PATH` writes a JSON summary of the dedupe ratio and
+ * cache hit counts.
+ *
+ * @return 0 when every shape check of every figure passes.
+ */
+int runAllMain(int argc, char **argv);
+
+} // namespace middlesim::core
+
+#endif // CORE_RUN_ALL_HH

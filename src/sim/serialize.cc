@@ -1,0 +1,29 @@
+#include "sim/serialize.hh"
+
+namespace middlesim::sim
+{
+
+std::uint64_t
+fnv1a64(std::string_view data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+hashHex(std::uint64_t h)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[i] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return s;
+}
+
+} // namespace middlesim::sim

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Exact binary serialization helpers and content hashing.
+ *
+ * ByteWriter/ByteReader implement a tiny little-endian byte stream
+ * used by the run-result cache: fixed-width unsigned integers,
+ * doubles as IEEE-754 bit patterns (so every value round-trips
+ * bit-exactly), and length-prefixed strings. The reader carries a
+ * sticky failure flag instead of throwing: a truncated or corrupt
+ * stream simply reads as zeros with ok() == false, which cache
+ * loaders treat as a miss.
+ */
+
+#ifndef SIM_SERIALIZE_HH
+#define SIM_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace middlesim::sim
+{
+
+/** FNV-1a 64-bit hash (content addressing of cache keys). */
+std::uint64_t fnv1a64(std::string_view data);
+
+/** Fixed-width hex rendering of a 64-bit hash (16 lowercase digits). */
+std::string hashHex(std::uint64_t h);
+
+/** Append-only little-endian byte stream. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        appendLe(v, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        appendLe(v, 8);
+    }
+
+    /** Bit-exact double (IEEE-754 pattern as u64). */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        buf_.append(s.data(), s.size());
+    }
+
+    void
+    vecU64(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (std::uint64_t x : v)
+            u64(x);
+    }
+
+    void
+    vecF64(const std::vector<double> &v)
+    {
+        u64(v.size());
+        for (double x : v)
+            f64(x);
+    }
+
+    const std::string &data() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    void
+    appendLe(std::uint64_t v, unsigned bytes)
+    {
+        for (unsigned i = 0; i < bytes; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    std::string buf_;
+};
+
+/** Sequential reader with a sticky failure flag (no exceptions). */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : data_(data) {}
+
+    bool ok() const { return ok_; }
+
+    /** True when every byte has been consumed and nothing failed. */
+    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        return static_cast<std::uint32_t>(readLe(4));
+    }
+
+    std::uint64_t u64() { return readLe(8); }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (!need(n))
+            return {};
+        std::string s(data_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<std::uint64_t>
+    vecU64()
+    {
+        const std::uint64_t n = u64();
+        std::vector<std::uint64_t> v;
+        if (!need(n * 8))
+            return v;
+        v.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v.push_back(u64());
+        return v;
+    }
+
+    std::vector<double>
+    vecF64()
+    {
+        const std::uint64_t n = u64();
+        std::vector<double> v;
+        if (!need(n * 8))
+            return v;
+        v.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v.push_back(f64());
+        return v;
+    }
+
+  private:
+    bool
+    need(std::uint64_t bytes)
+    {
+        if (!ok_ || bytes > data_.size() - pos_) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint64_t
+    readLe(unsigned bytes)
+    {
+        if (!need(bytes))
+            return 0;
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < bytes; ++i) {
+            v |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(data_[pos_ + i]))
+                 << (8 * i);
+        }
+        pos_ += bytes;
+        return v;
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace middlesim::sim
+
+#endif // SIM_SERIALIZE_HH

@@ -30,6 +30,9 @@ class ConcentrationCurve
     /** Number of distinct keys. */
     std::size_t numKeys() const { return counts_.size(); }
 
+    /** The descending-sorted per-key counts (serialization). */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
     /** Sum over all keys. */
     std::uint64_t total() const { return total_; }
 

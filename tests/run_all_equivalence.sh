@@ -1,0 +1,77 @@
+#!/bin/bash
+# Byte-identity of the deduplicated all-figures scheduler: the stdout
+# of run_all must equal the concatenated stdouts of the 13 individual
+# figure drivers, whether the disk cache is off, cold, or warm, and at
+# any --jobs count; per-figure metrics documents must equal the
+# drivers' --metrics-out files. Runs time-compressed (shape checks may
+# FAIL at this scale — only identity is asserted).
+#
+# Usage: run_all_equivalence.sh <build/bench dir>
+
+bindir=${1:?usage: run_all_equivalence.sh <bench dir>}
+export MIDDLESIM_TIMESCALE=${MIDDLESIM_TIMESCALE:-0.05}
+export MIDDLESIM_RUNS=1
+unset MIDDLESIM_CACHE MIDDLESIM_QUICK MIDDLESIM_JOBS
+
+workdir=$(mktemp -d /tmp/middlesim_equiv.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+mkdir -p "$workdir/metrics_solo" "$workdir/metrics_runall"
+
+figures="fig04_scaling fig05_execmodes fig06_cpi fig07_datastall \
+         fig08_c2c_ratio fig09_gc_effect fig10_c2c_timeline \
+         fig11_livemem fig12_icache fig13_dcache fig14_comm_pct \
+         fig15_comm_abs fig16_shared"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "# individual drivers" >&2
+for f in $figures; do
+    id="${f%%_*}"
+    "$bindir/$f" --jobs=1 \
+        --metrics-out="$workdir/metrics_solo/$id.json" ||
+        true # tiny timescale may fail shape checks; identity is the test
+done > "$workdir/individual.out" 2> /dev/null
+[ -s "$workdir/individual.out" ] || fail "individual drivers produced no output"
+
+echo "# run_all --no-cache" >&2
+"$bindir/run_all" --jobs=1 --no-cache \
+    > "$workdir/nocache.out" 2> /dev/null || true
+cmp "$workdir/individual.out" "$workdir/nocache.out" ||
+    fail "run_all --no-cache differs from concatenated drivers"
+
+echo "# run_all cold disk cache" >&2
+"$bindir/run_all" --jobs=1 --cache-dir="$workdir/cache" \
+    --metrics-dir="$workdir/metrics_runall" \
+    --stats-out="$workdir/stats.json" \
+    > "$workdir/cold.out" 2> /dev/null || true
+cmp "$workdir/individual.out" "$workdir/cold.out" ||
+    fail "cold run_all differs from concatenated drivers"
+
+echo "# run_all warm disk cache" >&2
+"$bindir/run_all" --jobs=1 --cache-dir="$workdir/cache" \
+    > "$workdir/warm.out" 2> /dev/null || true
+cmp "$workdir/individual.out" "$workdir/warm.out" ||
+    fail "warm run_all differs from cold run_all"
+
+echo "# run_all --jobs=3" >&2
+"$bindir/run_all" --jobs=3 --no-cache \
+    > "$workdir/jobs3.out" 2> /dev/null || true
+cmp "$workdir/individual.out" "$workdir/jobs3.out" ||
+    fail "run_all --jobs=3 differs from --jobs=1"
+
+for f in "$workdir"/metrics_solo/*.json; do
+    id=$(basename "$f")
+    cmp "$f" "$workdir/metrics_runall/$id" ||
+        fail "metrics document $id differs between driver and run_all"
+done
+
+grep -q '"unique_points"' "$workdir/stats.json" ||
+    fail "stats JSON missing unique_points"
+requested=$(grep -o '"requested_points": *[0-9]*' "$workdir/stats.json" |
+    grep -o '[0-9]*$')
+unique=$(grep -o '"unique_points": *[0-9]*' "$workdir/stats.json" |
+    grep -o '[0-9]*$')
+[ "$unique" -lt "$requested" ] ||
+    fail "no dedupe happened ($unique of $requested unique)"
+
+echo "RUN_ALL_EQUIVALENCE_OK"
