@@ -1,0 +1,7 @@
+#include "core/trace_tool.hh"
+
+int
+main(int argc, char **argv)
+{
+    return middlesim::core::traceToolMain(argc, argv);
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Record once, replay many: the trace-driven what-if workflow.
+ *
+ * Runs one small SPECjbb configuration execution-driven while
+ * recording its interleaved reference stream, then answers an L2
+ * sizing question purely from the trace — three replays against
+ * different L2 capacities, each a fraction of the cost of re-running
+ * the workload/JVM/OS stack. This is the paper's Simics -> Sumo
+ * pipeline in miniature: capture the behavior once, study the memory
+ * system offline.
+ *
+ * Usage: trace_replay [quick]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/experiment.hh"
+#include "core/metrics_io.hh"
+#include "core/trace_run.hh"
+
+using namespace middlesim;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::strcmp(argv[1], "quick") == 0;
+
+    core::ExperimentSpec spec;
+    spec.workload = core::WorkloadKind::SpecJbb;
+    spec.appCpus = 2;
+    spec.totalCpus = 2;
+    spec.scale = 2;
+    spec.seed = 17;
+    spec.warmup = quick ? 1'000'000 : 4'000'000;
+    spec.measure = quick ? 2'000'000 : 10'000'000;
+
+    std::printf("recording %s execution-driven...\n",
+                core::pointName(spec).c_str());
+    const core::TraceRecordOutcome rec = core::recordTraceRun(spec);
+    std::printf("  %zu KB of trace, %llu instructions, "
+                "%.0f tx/s measured\n\n",
+                rec.traceData.size() >> 10,
+                static_cast<unsigned long long>(
+                    rec.result.cpi.instructions),
+                rec.result.throughput);
+
+    std::printf("replaying against three L2 capacities:\n");
+    std::printf("%8s %12s %12s %12s %14s\n", "L2", "misses", "cold",
+                "capacity", "dmiss/1000");
+    for (const std::uint64_t kb : {256, 1024, 4096}) {
+        trace::ReplayOverrides overrides;
+        overrides.l2SizeBytes = kb << 10;
+        const core::HierarchyReplayOutcome out =
+            core::replayTraceHierarchy(rec.traceData, overrides);
+        if (!out.valid) {
+            std::fprintf(stderr, "replay failed: %s\n",
+                         out.error.c_str());
+            return 1;
+        }
+        const mem::CacheStats &s = out.aggregate;
+        std::printf(
+            "%5llu KB %12llu %12llu %12llu %14.3f\n",
+            static_cast<unsigned long long>(kb),
+            static_cast<unsigned long long>(s.l2Misses()),
+            static_cast<unsigned long long>(s.missCold),
+            static_cast<unsigned long long>(s.missCapacity),
+            1000.0 * static_cast<double>(s.dataMisses) /
+                static_cast<double>(out.counts.instructions
+                                        ? out.counts.instructions
+                                        : 1));
+    }
+    std::printf("\nThe recorded geometry (1 MB) replays bit-identical "
+                "to the measured run;\nthe other rows answer the "
+                "sizing question without re-simulating the JVM.\n");
+    return 0;
+}

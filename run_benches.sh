@@ -25,11 +25,14 @@ if [ "$1" = "--check" ]; then
     cmake -B build-tsan -S . -DMIDDLESIM_SANITIZE=thread \
         > /dev/null
     cmake --build build-tsan -j"$(nproc)" --target \
-        test_parallel test_metrics test_sweep test_cache > /dev/null
+        test_parallel test_metrics test_sweep test_cache \
+        test_trace test_serialize > /dev/null
     ./build-tsan/tests/test_parallel
     ./build-tsan/tests/test_metrics
     ./build-tsan/tests/test_sweep
     ./build-tsan/tests/test_cache
+    ./build-tsan/tests/test_trace
+    ./build-tsan/tests/test_serialize
     echo "################ sanitizer check: address"
     cmake -B build-asan -S . -DMIDDLESIM_SANITIZE=address \
         > /dev/null
@@ -134,6 +137,75 @@ cache_json="BENCH_cache.json"
 echo "--- wall clock: figures-serial-sum ${serial_sum}s," \
      "cold run_all ${cold}s, warm run_all ${warm}s"
 echo "wrote $cache_json"
+
+# Trace capture & replay: fig12 execution-driven plain vs recording
+# (overhead of the attached TraceWriter), then fig12/fig13 rederived
+# purely from the recorded streams (--trace-in replays the sweep
+# without the CPU/OS/JVM/workload layers), and a Figure 16-style
+# sharing study replayed from one SMP recording. --no-cache keeps the
+# run cache out of every leg so the timings compare simulation paths,
+# not memo hits.
+echo "################ trace record/replay"
+trace_dir=$(mktemp -d /tmp/middlesim_trace.XXXXXX)
+time_run ./build/bench/fig12_icache --jobs="$jobs_parallel" --no-cache
+fig12_plain="$elapsed_s"
+time_run ./build/bench/fig12_icache --jobs="$jobs_parallel" \
+    --no-cache --trace-out="$trace_dir"
+fig12_record="$elapsed_s"
+time_run ./build/bench/fig12_icache --jobs="$jobs_parallel" \
+    --no-cache --trace-in="$trace_dir"
+fig12_replay="$elapsed_s"
+time_run ./build/bench/fig13_dcache --jobs="$jobs_parallel" \
+    --no-cache --trace-in="$trace_dir"
+fig13_replay="$elapsed_s"
+
+traces_total=0
+traces_valid=0
+for f in "$trace_dir"/trace-*.mst; do
+    [ -e "$f" ] || continue
+    traces_total=$((traces_total + 1))
+    ./build/bench/middlesim-trace validate "$f" > /dev/null &&
+        traces_valid=$((traces_valid + 1))
+done
+trace_bytes=$(du -sb "$trace_dir" | cut -f1)
+
+# Figure 16-style what-if: one recorded SMP run, then every sharing
+# degree replayed from the trace (execution-driven would re-run the
+# full stack once per degree).
+smp_trace="$trace_dir/smp.mst"
+time_run ./build/bench/middlesim-trace record --out="$smp_trace" \
+    --workload=ecperf --app-cpus=4 --total-cpus=8 --scale=4 \
+    --seed=5 --warmup=2000000 --measure=5000000
+sharing_record="$elapsed_s"
+time_run ./build/bench/middlesim-trace sharing "$smp_trace"
+sharing_replay="$elapsed_s"
+rm -rf "$trace_dir"
+
+trace_json="BENCH_trace.json"
+{
+    echo "{"
+    printf '  "schema": "middlesim-bench-trace-v1",\n'
+    printf '  "fig12_plain_s": %s,\n' "$fig12_plain"
+    printf '  "fig12_record_s": %s,\n' "$fig12_record"
+    printf '  "record_overhead_ratio": %s,\n' \
+        "$(awk "BEGIN { print $fig12_record / $fig12_plain }")"
+    printf '  "fig12_replay_s": %s,\n' "$fig12_replay"
+    printf '  "fig13_replay_s": %s,\n' "$fig13_replay"
+    printf '  "replay_speedup_fig12": %s,\n' \
+        "$(awk "BEGIN { print $fig12_plain / $fig12_replay }")"
+    printf '  "trace_files": %s,\n' "$traces_total"
+    printf '  "trace_files_valid": %s,\n' "$traces_valid"
+    printf '  "trace_bytes": %s,\n' "$trace_bytes"
+    printf '  "sharing_record_s": %s,\n' "$sharing_record"
+    printf '  "sharing_replay_s": %s,\n' "$sharing_replay"
+    printf '  "sharing_replay_speedup_per_point": %s\n' \
+        "$(awk "BEGIN { print 4 * $sharing_record / $sharing_replay }")"
+    echo "}"
+} > "$trace_json"
+echo "--- wall clock: fig12 plain ${fig12_plain}s," \
+     "record ${fig12_record}s, replay ${fig12_replay}s;" \
+     "${traces_valid}/${traces_total} traces valid"
+echo "wrote $trace_json"
 
 echo "################ ablation_mechanisms"
 ./build/bench/ablation_mechanisms

@@ -5,6 +5,7 @@
 
 #include "core/cache.hh"
 #include "core/metrics_io.hh"
+#include "core/trace_run.hh"
 #include "sim/log.hh"
 #include "sim/threadpool.hh"
 
@@ -151,7 +152,13 @@ runExperiment(const ExperimentSpec &spec)
 {
     BuiltWorkload workload;
     auto system = buildSystem(spec, workload);
-    return measure(*system, spec, workload);
+    // Record-while-running when --trace-out is configured (a no-op
+    // sink attachment otherwise): recording only observes, so the
+    // RunResult is byte-identical with tracing on or off.
+    auto writer = beginTraceRecording(*system, spec);
+    RunResult res = measure(*system, spec, workload);
+    finishTraceRecording(std::move(writer), *system, spec);
+    return res;
 }
 
 ExperimentSpec

@@ -7,15 +7,18 @@
 #include <cmath>
 #include <future>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "core/cache.hh"
 #include "core/figures.hh"
 #include "core/figures_internal.hh"
 #include "core/paper.hh"
+#include "core/trace_run.hh"
 #include "mem/sweep.hh"
 #include "sim/log.hh"
 #include "sim/threadpool.hh"
+#include "trace/reader.hh"
 
 namespace middlesim::core
 {
@@ -118,6 +121,7 @@ runSweepPoint(WorkloadKind kind, unsigned scale,
 
     BuiltWorkload workload;
     auto system = buildSystem(spec, workload);
+    auto writer = beginTraceRecording(*system, spec);
     // Warm both the hierarchy and the sweep caches, then count only
     // the measured interval.
     system->memory().setSweepTap(&sweep);
@@ -127,6 +131,7 @@ runSweepPoint(WorkloadKind kind, unsigned scale,
     system->run(spec.measure);
     sweep.countInstructions(system->appCpi().instructions);
     system->memory().setSweepTap(nullptr);
+    finishTraceRecording(std::move(writer), *system, spec);
 
     SweepOutcome out;
     out.icache = sweep.icacheResults();
@@ -134,6 +139,48 @@ runSweepPoint(WorkloadKind kind, unsigned scale,
     out.instructions = sweep.instructions();
     out.point = pointName(spec);
     out.snap = collectMetrics(*system, spec, workload);
+    return out;
+}
+
+/**
+ * Satisfy a Figure 12/13 sweep point from a --trace-in recording.
+ * Returns nothing when replay is not configured, no recording of
+ * this spec exists, or the file does not validate (execution-driven
+ * fallback). Bypasses the RunCache entirely: the replayed curves are
+ * bit-identical to the execution-driven ones, but the metrics
+ * snapshot of a replay is minimal (no CPU/OS/JVM layers ran), so it
+ * must never be memoized as an execution result.
+ */
+std::optional<SweepOutcome>
+sweepOutcomeFromTrace(WorkloadKind kind, unsigned scale,
+                      const FigureOptions &opt)
+{
+    if (traceInDir().empty())
+        return std::nullopt;
+    const ExperimentSpec spec = sweepPointSpec(kind, scale, opt);
+    const std::string path = traceFilePath(traceInDir(), spec);
+    std::string data;
+    if (!trace::readTraceFile(path, data))
+        return std::nullopt;
+    SweepReplayOutcome replay = replayTraceSweep(std::move(data));
+    if (!replay.valid) {
+        warn("trace: '", path, "' invalid (", replay.error,
+             "); falling back to execution");
+        return std::nullopt;
+    }
+    if (replay.header.specKey != encodeSpecKey(spec)) {
+        warn("trace: '", path,
+             "' records a different spec; falling back to execution");
+        return std::nullopt;
+    }
+    SweepOutcome out;
+    out.icache = std::move(replay.icache);
+    out.dcache = std::move(replay.dcache);
+    out.instructions = replay.instructions;
+    out.point = pointName(spec);
+    out.snap.counters["trace.replay.refs"] = replay.counts.refs;
+    out.snap.counters["trace.replay.annotations"] =
+        replay.counts.annotations;
     return out;
 }
 
@@ -306,6 +353,8 @@ SweepOutcome
 cachedSweepOutcome(WorkloadKind kind, unsigned scale,
                    const FigureOptions &opt)
 {
+    if (auto replayed = sweepOutcomeFromTrace(kind, scale, opt))
+        return std::move(*replayed);
     return throughCache<SweepOutcome>(
         "sweep", sweepPointSpec(kind, scale, opt), decodeSweepOutcome,
         encodeSweepOutcome,

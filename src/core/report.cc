@@ -7,6 +7,7 @@
 
 #include "core/cache.hh"
 #include "core/metrics_io.hh"
+#include "core/trace_run.hh"
 #include "sim/log.hh"
 #include "sim/threadpool.hh"
 
@@ -50,6 +51,8 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
 {
     std::string metrics_out;
     std::string cache_dir;
+    std::string trace_out;
+    std::string trace_in;
     bool no_cache = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -70,15 +73,27 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
             if (cache_dir.empty())
                 fatal("figureMain: bad flag '", arg,
                            "' (want --cache-dir=PATH)");
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+            if (trace_out.empty())
+                fatal("figureMain: bad flag '", arg,
+                           "' (want --trace-out=DIR)");
+        } else if (arg.rfind("--trace-in=", 0) == 0) {
+            trace_in = arg.substr(11);
+            if (trace_in.empty())
+                fatal("figureMain: bad flag '", arg,
+                           "' (want --trace-in=DIR)");
         } else if (arg == "--no-cache") {
             no_cache = true;
         } else {
             fatal("figureMain: unknown flag '", arg,
                        "' (supported: --jobs=N, --metrics-out=PATH, "
-                       "--cache-dir=PATH, --no-cache)");
+                       "--cache-dir=PATH, --no-cache, "
+                       "--trace-out=DIR, --trace-in=DIR)");
         }
     }
     configureRunCache(cache_dir, no_cache);
+    configureTracingFromFlags(trace_out, trace_in);
 
     const FigureOptions opt = FigureOptions::fromEnv();
     const FigureResult fig = harness(opt);

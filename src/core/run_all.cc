@@ -15,6 +15,7 @@
 #include "core/figures_internal.hh"
 #include "core/metrics_io.hh"
 #include "core/report.hh"
+#include "core/trace_run.hh"
 #include "sim/log.hh"
 #include "sim/metrics.hh"
 #include "sim/threadpool.hh"
@@ -144,6 +145,8 @@ runAllMain(int argc, char **argv)
     std::string metrics_dir;
     std::string stats_out;
     std::string cache_dir;
+    std::string trace_out;
+    std::string trace_in;
     bool no_cache = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -168,15 +171,27 @@ runAllMain(int argc, char **argv)
             if (cache_dir.empty())
                 fatal("run_all: bad flag '", arg,
                       "' (want --cache-dir=PATH)");
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+            if (trace_out.empty())
+                fatal("run_all: bad flag '", arg,
+                      "' (want --trace-out=DIR)");
+        } else if (arg.rfind("--trace-in=", 0) == 0) {
+            trace_in = arg.substr(11);
+            if (trace_in.empty())
+                fatal("run_all: bad flag '", arg,
+                      "' (want --trace-in=DIR)");
         } else if (arg == "--no-cache") {
             no_cache = true;
         } else {
             fatal("run_all: unknown flag '", arg,
                   "' (supported: --jobs=N, --metrics-dir=DIR, "
-                  "--stats-out=PATH, --cache-dir=PATH, --no-cache)");
+                  "--stats-out=PATH, --cache-dir=PATH, --no-cache, "
+                  "--trace-out=DIR, --trace-in=DIR)");
         }
     }
     configureRunCache(cache_dir, no_cache);
+    configureTracingFromFlags(trace_out, trace_in);
 
     const FigureOptions opt = FigureOptions::fromEnv();
 

@@ -21,7 +21,9 @@ namespace middlesim::core
  * figureMain); `--metrics-dir=DIR` writes one metrics document per
  * figure (DIR/<fig>.json, identical to the driver's --metrics-out);
  * `--stats-out=PATH` writes a JSON summary of the dedupe ratio and
- * cache hit counts.
+ * cache hit counts; `--trace-out=DIR` / `--trace-in=DIR` record the
+ * reference streams of execution-driven runs / replay the Figure
+ * 12/13 sweeps from prior recordings (MIDDLESIM_TRACE=DIR sets both).
  *
  * @return 0 when every shape check of every figure passes.
  */

@@ -39,6 +39,27 @@ System::System(const SystemConfig &config, std::uint64_t seed)
     }
 }
 
+void
+System::setTraceSink(mem::TraceSink *sink)
+{
+    trace_ = sink;
+    mem_->setTraceSink(sink);
+    sched_->setTraceSink(sink);
+    tracedMode_.assign(cfg_.machine.totalCpus, -1);
+}
+
+void
+System::account(unsigned cpu, exec::ExecMode mode, sim::Tick before)
+{
+    const sim::Tick now = cores_[cpu]->now();
+    sched_->accountMode(cpu, mode, now - before);
+    if (trace_ && tracedMode_[cpu] != static_cast<int>(mode)) {
+        tracedMode_[cpu] = static_cast<int>(mode);
+        trace_->annotation(mem::TraceAnnotation::ModeSwitch, cpu, now,
+                           static_cast<std::uint64_t>(mode));
+    }
+}
+
 unsigned
 System::addProgram(std::unique_ptr<exec::ThreadProgram> program,
                    bool in_app_set, int bound_cpu)
@@ -141,7 +162,7 @@ System::executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op)
     switch (op.kind) {
       case exec::OpKind::Burst:
         executeBurst(core, burstBuf_);
-        sched_->accountMode(cpu, burstBuf_.mode, core.now() - before);
+        account(cpu, burstBuf_.mode, before);
         return true;
 
       case exec::OpKind::LockAcquire: {
@@ -163,12 +184,12 @@ System::executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op)
             // Hold the CPU until the matching release: a preempted
             // spin-section holder would convoy every other CPU.
             ++t.heldLocks;
-            sched_->accountMode(cpu, op.mode, core.now() - before);
+            account(cpu, op.mode, before);
             return true;
         }
         if (op.lock->tryAcquire(static_cast<int>(tid))) {
             ++t.heldLocks;
-            sched_->accountMode(cpu, op.mode, core.now() - before);
+            account(cpu, op.mode, before);
             return true;
         }
         // Brief spin (probe the lock line) before parking: Java
@@ -179,7 +200,7 @@ System::executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op)
             static_cast<double>(spin) / cfg_.core.baseCpi) + 1);
         op.lock->enqueue(tid);
         sched_->block(tid);
-        sched_->accountMode(cpu, op.mode, core.now() - before);
+        account(cpu, op.mode, before);
         return false;
       }
 
@@ -189,7 +210,7 @@ System::executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op)
             op.lock->spinExit();
             sim_assert(t.heldLocks > 0, "spin-lock count underflow");
             --t.heldLocks;
-            sched_->accountMode(cpu, op.mode, core.now() - before);
+            account(cpu, op.mode, before);
             return true;
         }
         sim_assert(op.lock->owner() == static_cast<int>(tid),
@@ -206,19 +227,19 @@ System::executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op)
             sched_->wake(static_cast<unsigned>(next), /*front=*/true,
                          core.now());
         }
-        sched_->accountMode(cpu, op.mode, core.now() - before);
+        account(cpu, op.mode, before);
         return true;
       }
 
       case exec::OpKind::PoolAcquire: {
         core.atomic(op.pool->lineAddr());
         if (op.pool->tryAcquire()) {
-            sched_->accountMode(cpu, op.mode, core.now() - before);
+            account(cpu, op.mode, before);
             return true;
         }
         op.pool->enqueue(tid);
         sched_->block(tid);
-        sched_->accountMode(cpu, op.mode, core.now() - before);
+        account(cpu, op.mode, before);
         return false;
       }
 
@@ -229,7 +250,7 @@ System::executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op)
             sched_->wake(static_cast<unsigned>(next), /*front=*/true,
                          core.now(), /*migratable=*/true);
         }
-        sched_->accountMode(cpu, op.mode, core.now() - before);
+        account(cpu, op.mode, before);
         return true;
       }
 
@@ -242,9 +263,12 @@ System::executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op)
             txCounts_.resize(op.txType + 1, 0);
         ++txCounts_[op.txType];
         ++t.txCompleted;
+        if (trace_)
+            trace_->annotation(mem::TraceAnnotation::TxBoundary, cpu,
+                               core.now(), op.txType);
         // Completion bookkeeping; also guarantees forward progress.
         core.execInstructions(50);
-        sched_->accountMode(cpu, op.mode, core.now() - before);
+        account(cpu, op.mode, before);
         return true;
 
       case exec::OpKind::Exit:
@@ -311,8 +335,7 @@ System::chargeContextSwitch(unsigned cpu)
     kernel_->fillSwitchBurst(burstBuf_, cpuRngs_[cpu], cpu);
     const sim::Tick before = core.now();
     executeBurst(core, burstBuf_);
-    sched_->accountMode(cpu, exec::ExecMode::System,
-                        core.now() - before);
+    account(cpu, exec::ExecMode::System, before);
 }
 
 void
@@ -328,6 +351,12 @@ System::startGcIfNeeded()
                           static_cast<int>(cfg_.gcCpu)));
     metrics_.journal().record(now_, "gc.begin");
     metrics_.journal().record(now_, "safepoint.begin");
+    if (trace_) {
+        trace_->annotation(mem::TraceAnnotation::GcBegin, cfg_.gcCpu,
+                           now_, 0);
+        trace_->annotation(mem::TraceAnnotation::SafepointBegin,
+                           cfg_.gcCpu, now_, 0);
+    }
 }
 
 void
@@ -341,6 +370,14 @@ System::finishGc()
         end, rec.major ? "gc.end.major" : "gc.end.minor",
         "pause=" + std::to_string(rec.duration));
     metrics_.journal().record(end, "safepoint.end");
+    if (trace_) {
+        trace_->annotation(rec.major
+                               ? mem::TraceAnnotation::GcEndMajor
+                               : mem::TraceAnnotation::GcEndMinor,
+                           cfg_.gcCpu, end, rec.duration);
+        trace_->annotation(mem::TraceAnnotation::SafepointEnd,
+                           cfg_.gcCpu, end, 0);
+    }
     gcActive_ = false;
     gcTid_ = -1;
 }
@@ -348,6 +385,9 @@ System::finishGc()
 void
 System::beginMeasurement()
 {
+    if (trace_)
+        trace_->annotation(mem::TraceAnnotation::MeasureBegin, 0, now_,
+                           0);
     metrics_.reset();
     mem_->resetStats();
     for (auto &core : cores_)

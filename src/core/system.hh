@@ -115,11 +115,23 @@ class System
     sim::MetricRegistry &metrics() { return metrics_; }
     const sim::MetricRegistry &metrics() const { return metrics_; }
 
+    /**
+     * Record this machine's execution into a reference trace: every
+     * memory reference (via the hierarchy) plus GC/safepoint windows,
+     * execution-mode switches, scheduler migrations, transaction
+     * boundaries and measurement marks. Pass nullptr to detach.
+     * Recording is observation-only and never perturbs the run.
+     */
+    void setTraceSink(mem::TraceSink *sink);
+    mem::TraceSink *traceSink() const { return trace_; }
+
   private:
     void runCpu(unsigned cpu, sim::Tick window_end);
     void executeBurst(cpu::InOrderCore &core, const exec::Burst &burst);
     /** @return true if the thread keeps the CPU. */
     bool executeOp(unsigned cpu, unsigned tid, const exec::NextOp &op);
+    /** Mode accounting since `before`, plus trace mode-switch marks. */
+    void account(unsigned cpu, exec::ExecMode mode, sim::Tick before);
     void chargeContextSwitch(unsigned cpu);
     void startGcIfNeeded();
     void finishGc();
@@ -160,6 +172,10 @@ class System
     std::unique_ptr<exec::ThreadProgram> gcProgram_;
 
     sim::Tick nextSample_ = 0;
+
+    mem::TraceSink *trace_ = nullptr;
+    /** Last mode recorded per CPU (-1 = none); dedupes ModeSwitch. */
+    std::vector<int> tracedMode_;
 };
 
 } // namespace middlesim::core

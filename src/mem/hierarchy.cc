@@ -44,6 +44,8 @@ Hierarchy::Hierarchy(const sim::MachineConfig &config,
 AccessResult
 Hierarchy::access(const MemRef &ref, sim::Tick now)
 {
+    if (traceSink_)
+        traceSink_->ref(ref, now);
     if (sweepTap_)
         sweepTap_->access(ref);
     CacheStats &st = stats_[ref.cpu];
@@ -371,6 +373,8 @@ Hierarchy::aggregateAll() const
 void
 Hierarchy::resetStats()
 {
+    if (traceSink_)
+        traceSink_->annotation(TraceAnnotation::StatsReset, 0, 0, 0);
     for (auto &st : stats_)
         st = CacheStats();
     bus_.reset();
@@ -387,6 +391,8 @@ Hierarchy::setCommunicationTracking(bool on)
 void
 Hierarchy::resetCommunicationTracking()
 {
+    if (traceSink_)
+        traceSink_->annotation(TraceAnnotation::CommTrackReset, 0, 0, 0);
     c2cPerLine_.reset();
     touchedCount_ = 0;
     meta_.forEach([](Addr, LineMeta &meta) {
@@ -417,6 +423,9 @@ Hierarchy::defineRegion(const std::string &name, Addr base,
 void
 Hierarchy::resetRegionStats()
 {
+    if (traceSink_)
+        traceSink_->annotation(TraceAnnotation::RegionStatsReset, 0, 0,
+                               0);
     for (Region &region : regions_) {
         region.missCold = 0;
         region.missCoherence = 0;
@@ -427,6 +436,8 @@ Hierarchy::resetRegionStats()
 void
 Hierarchy::invalidateAll()
 {
+    if (traceSink_)
+        traceSink_->annotation(TraceAnnotation::InvalidateAll, 0, 0, 0);
     for (auto &c : l1i_)
         c.invalidateAll();
     for (auto &c : l1d_)

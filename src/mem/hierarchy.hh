@@ -34,6 +34,7 @@
 #include "mem/memref.hh"
 #include "mem/stats.hh"
 #include "mem/sweep.hh"
+#include "mem/trace_sink.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
 #include "stats/distribution.hh"
@@ -120,6 +121,14 @@ class Hierarchy
      * filters it; pass nullptr to detach.
      */
     void setSweepTap(SweepSimulator *sweep) { sweepTap_ = sweep; }
+
+    /**
+     * Record every reference (and stat-reset annotations) into a
+     * trace sink. The sink sees the stream before any filtering, in
+     * the exact order this hierarchy processes it; pass nullptr to
+     * detach. Recording never changes simulation behavior.
+     */
+    void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
 
     /** Coherence state of a block in the L2 serving `cpu`. */
     CoherenceState peekState(unsigned cpu, Addr addr) const;
@@ -211,6 +220,7 @@ class Hierarchy
 
     std::unique_ptr<TimelineSampler> timeline_;
     SweepSimulator *sweepTap_ = nullptr;
+    TraceSink *traceSink_ = nullptr;
 };
 
 } // namespace middlesim::mem

@@ -99,6 +99,11 @@ Scheduler::pickFor(unsigned cpu, sim::Tick now, bool gc_active)
                 if (t.lastCpu >= 0 &&
                     t.lastCpu != static_cast<int>(cpu)) {
                     ++*migrations_;
+                    if (traceSink_) {
+                        traceSink_->annotation(
+                            mem::TraceAnnotation::Migration, cpu, now,
+                            tid);
+                    }
                     if (journal_) {
                         journal_->record(now, "sched.migrate",
                                          "tid=" + std::to_string(tid) +

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "exec/program.hh"
+#include "mem/trace_sink.hh"
 #include "os/modes.hh"
 #include "os/thread.hh"
 #include "sim/metrics.hh"
@@ -107,6 +108,9 @@ class Scheduler
     /** Cross-CPU moves of previously-placed unbound threads. */
     std::uint64_t migrations() const { return migrations_->value(); }
 
+    /** Record migrations into a reference trace (nullptr detaches). */
+    void setTraceSink(mem::TraceSink *sink) { traceSink_ = sink; }
+
     void resetAccounting();
 
   private:
@@ -133,6 +137,7 @@ class Scheduler
     sim::Counter *migrations_;
     sim::Counter fallbackMigrations_;
     sim::EventJournal *journal_ = nullptr;
+    mem::TraceSink *traceSink_ = nullptr;
 };
 
 } // namespace middlesim::os

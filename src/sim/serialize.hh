@@ -3,12 +3,13 @@
  * Exact binary serialization helpers and content hashing.
  *
  * ByteWriter/ByteReader implement a tiny little-endian byte stream
- * used by the run-result cache: fixed-width unsigned integers,
- * doubles as IEEE-754 bit patterns (so every value round-trips
- * bit-exactly), and length-prefixed strings. The reader carries a
- * sticky failure flag instead of throwing: a truncated or corrupt
- * stream simply reads as zeros with ok() == false, which cache
- * loaders treat as a miss.
+ * used by the run-result cache and the reference-trace format:
+ * fixed-width unsigned integers, LEB128 varints (with zigzag for
+ * signed deltas), doubles as IEEE-754 bit patterns (so every value
+ * round-trips bit-exactly), and length-prefixed strings. The reader
+ * carries a sticky failure flag instead of throwing: a truncated or
+ * corrupt stream simply reads as zeros with ok() == false, which
+ * cache loaders treat as a miss and trace loaders as a hard error.
  */
 
 #ifndef SIM_SERIALIZE_HH
@@ -28,6 +29,28 @@ std::uint64_t fnv1a64(std::string_view data);
 
 /** Fixed-width hex rendering of a 64-bit hash (16 lowercase digits). */
 std::string hashHex(std::uint64_t h);
+
+/** Incremental FNV-1a: fold `data` into running hash `h`. */
+std::uint64_t fnv1a64Step(std::uint64_t h, std::string_view data);
+
+/** Initial value of the incremental FNV-1a hash (offset basis). */
+inline constexpr std::uint64_t fnv1a64Init = 0xcbf29ce484222325ULL;
+
+/** Zigzag-map a signed value so small-magnitude deltas varint small. */
+constexpr std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+constexpr std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
 
 /** Append-only little-endian byte stream. */
 class ByteWriter
@@ -66,6 +89,20 @@ class ByteWriter
         u64(s.size());
         buf_.append(s.data(), s.size());
     }
+
+    /** LEB128 unsigned varint (1-10 bytes, 7 payload bits each). */
+    void
+    varU64(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+            v >>= 7;
+        }
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    /** Zigzag-encoded signed varint (for small deltas of any sign). */
+    void varI64(std::int64_t v) { varU64(zigzagEncode(v)); }
 
     void
     vecU64(const std::vector<std::uint64_t> &v)
@@ -144,13 +181,47 @@ class ByteReader
         return s;
     }
 
+    /**
+     * LEB128 unsigned varint. More than 10 bytes, or a 10th byte
+     * carrying anything beyond the top bit of a u64, is corruption
+     * (it would silently wrap) and trips the failure flag.
+     */
+    std::uint64_t
+    varU64()
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 10; ++i) {
+            if (!need(1))
+                return 0;
+            const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+            if (i == 9 && (b & 0xfe) != 0) {
+                ok_ = false; // 64-bit overflow or over-length varint
+                return 0;
+            }
+            v |= static_cast<std::uint64_t>(b & 0x7f) << (7 * i);
+            if ((b & 0x80) == 0)
+                return v;
+        }
+        ok_ = false;
+        return 0;
+    }
+
+    /** Zigzag-encoded signed varint. */
+    std::int64_t varI64() { return zigzagDecode(varU64()); }
+
     std::vector<std::uint64_t>
     vecU64()
     {
+        // Validate the count against the remaining bytes *before*
+        // sizing anything by it: `n * 8` may wrap modulo 2^64, so a
+        // corrupt length prefix must never reach a multiply or a
+        // reserve.
         const std::uint64_t n = u64();
         std::vector<std::uint64_t> v;
-        if (!need(n * 8))
+        if (!ok_ || n > remaining() / 8) {
+            ok_ = false;
             return v;
+        }
         v.reserve(n);
         for (std::uint64_t i = 0; i < n; ++i)
             v.push_back(u64());
@@ -162,13 +233,21 @@ class ByteReader
     {
         const std::uint64_t n = u64();
         std::vector<double> v;
-        if (!need(n * 8))
+        if (!ok_ || n > remaining() / 8) {
+            ok_ = false;
             return v;
+        }
         v.reserve(n);
         for (std::uint64_t i = 0; i < n; ++i)
             v.push_back(f64());
         return v;
     }
+
+    /** Bytes left to read (0 once the stream has failed). */
+    std::uint64_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+    /** Absolute read position (bytes consumed so far). */
+    std::size_t pos() const { return pos_; }
 
   private:
     bool

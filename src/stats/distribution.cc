@@ -87,6 +87,15 @@ KeyCounts::countOf(std::uint64_t key) const
     return it == counts_.end() ? 0 : it->second;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+KeyCounts::sortedItems() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items(
+        counts_.begin(), counts_.end());
+    std::sort(items.begin(), items.end());
+    return items;
+}
+
 ConcentrationCurve
 KeyCounts::concentration() const
 {

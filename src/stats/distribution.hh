@@ -72,6 +72,10 @@ class KeyCounts
     std::uint64_t total() const { return total_; }
     std::uint64_t countOf(std::uint64_t key) const;
 
+    /** All (key, count) pairs sorted by key (exact comparison). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    sortedItems() const;
+
     ConcentrationCurve concentration() const;
 
     void reset();

@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "core/figures.hh"
+#include "core/figures_internal.hh"
 #include "core/paper.hh"
 #include "core/report.hh"
 
@@ -62,6 +64,40 @@ TEST(FigureOptions, FromEnvQuick)
     setenv("MIDDLESIM_RUNS", "5", 1);
     EXPECT_EQ(FigureOptions::fromEnv().runs, 5u);
     unsetenv("MIDDLESIM_RUNS");
+}
+
+TEST(FigureOptions, TimescaleShrinksIntervalsProportionally)
+{
+    setenv("MIDDLESIM_TIMESCALE", "0.25", 1);
+    const FigureOptions quarter = FigureOptions::fromEnv();
+    EXPECT_DOUBLE_EQ(quarter.timeScale, 0.25);
+    unsetenv("MIDDLESIM_TIMESCALE");
+    const FigureOptions full = FigureOptions::fromEnv();
+    EXPECT_DOUBLE_EQ(full.timeScale, 1.0);
+
+    // The scaled option must shrink every grid spec's warmup and
+    // measure interval by exactly the requested factor.
+    const auto specs_q = core::fig16GridSpecs(quarter);
+    const auto specs_f = core::fig16GridSpecs(full);
+    ASSERT_EQ(specs_q.size(), specs_f.size());
+    ASSERT_FALSE(specs_q.empty());
+    for (std::size_t i = 0; i < specs_q.size(); ++i) {
+        EXPECT_EQ(specs_q[i].warmup,
+                  static_cast<sim::Tick>(
+                      static_cast<double>(specs_f[i].warmup) * 0.25));
+        EXPECT_EQ(specs_q[i].measure,
+                  static_cast<sim::Tick>(
+                      static_cast<double>(specs_f[i].measure) * 0.25));
+        EXPECT_LT(specs_q[i].warmup, specs_f[i].warmup);
+        EXPECT_LT(specs_q[i].measure, specs_f[i].measure);
+    }
+
+    // Zero and negative values are rejected, keeping the default.
+    setenv("MIDDLESIM_TIMESCALE", "0", 1);
+    EXPECT_DOUBLE_EQ(FigureOptions::fromEnv().timeScale, 1.0);
+    setenv("MIDDLESIM_TIMESCALE", "-2", 1);
+    EXPECT_DOUBLE_EQ(FigureOptions::fromEnv().timeScale, 1.0);
+    unsetenv("MIDDLESIM_TIMESCALE");
 }
 
 TEST(Report, RendersTablesAndVerdicts)

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Hostile-input hardening tests for sim/serialize.hh: varint
+ * round-trips and overflow rejection, truncation at every prefix,
+ * absurd length prefixes that would wrap `n * 8`, and garbage-tail
+ * detection. A corrupt stream must always read as zeros with
+ * ok() == false — never as an out-of-bounds access or an allocation
+ * sized by attacker-controlled data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/serialize.hh"
+
+using namespace middlesim;
+
+TEST(Varint, RoundTripsBoundaryValues)
+{
+    const std::vector<std::uint64_t> values = {
+        0,
+        1,
+        0x7f,               // largest 1-byte encoding
+        0x80,               // smallest 2-byte encoding
+        0x3fff,
+        0x4000,
+        1u << 20,
+        0xffffffffULL,
+        1ULL << 56,
+        std::numeric_limits<std::uint64_t>::max(),
+    };
+    sim::ByteWriter w;
+    for (std::uint64_t v : values)
+        w.varU64(v);
+    sim::ByteReader r(w.data());
+    for (std::uint64_t v : values)
+        EXPECT_EQ(r.varU64(), v);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Varint, EncodingLengthsMatchLeb128)
+{
+    auto encodedSize = [](std::uint64_t v) {
+        sim::ByteWriter w;
+        w.varU64(v);
+        return w.data().size();
+    };
+    EXPECT_EQ(encodedSize(0), 1u);
+    EXPECT_EQ(encodedSize(0x7f), 1u);
+    EXPECT_EQ(encodedSize(0x80), 2u);
+    EXPECT_EQ(encodedSize(0x3fff), 2u);
+    EXPECT_EQ(encodedSize(0x4000), 3u);
+    EXPECT_EQ(encodedSize(std::numeric_limits<std::uint64_t>::max()),
+              10u);
+}
+
+TEST(Varint, SignedZigzagRoundTripsExtremes)
+{
+    const std::vector<std::int64_t> values = {
+        0,
+        -1,
+        1,
+        -64,
+        64,
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max(),
+    };
+    sim::ByteWriter w;
+    for (std::int64_t v : values)
+        w.varI64(v);
+    sim::ByteReader r(w.data());
+    for (std::int64_t v : values)
+        EXPECT_EQ(r.varI64(), v);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Varint, SmallMagnitudeSignedDeltasStaySmall)
+{
+    // The point of zigzag: -1 must not encode as ten 0xff bytes.
+    sim::ByteWriter w;
+    w.varI64(-1);
+    EXPECT_EQ(w.data().size(), 1u);
+}
+
+TEST(Varint, RejectsOverlongEncoding)
+{
+    // Eleven continuation bytes: valid LEB128 never needs more than
+    // ten bytes for 64 bits.
+    std::string bytes(11, '\x80');
+    bytes.push_back('\x01');
+    sim::ByteReader r(bytes);
+    EXPECT_EQ(r.varU64(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Varint, RejectsTenthByteOverflow)
+{
+    // Ten bytes whose tenth carries more than the top bit of a u64
+    // would silently wrap modulo 2^64.
+    std::string bytes(9, '\x80');
+    bytes.push_back('\x02');
+    sim::ByteReader r(bytes);
+    EXPECT_EQ(r.varU64(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Varint, AcceptsExactlyTenByteMax)
+{
+    // u64 max: nine 0xff continuation bytes and a final 0x01.
+    std::string bytes(9, '\xff');
+    bytes.push_back('\x01');
+    sim::ByteReader r(bytes);
+    EXPECT_EQ(r.varU64(), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Varint, TruncationMidValueFailsSticky)
+{
+    sim::ByteWriter w;
+    w.varU64(1u << 30);
+    const std::string full = w.data();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        sim::ByteReader r(std::string_view(full).substr(0, cut));
+        EXPECT_EQ(r.varU64(), 0u);
+        EXPECT_FALSE(r.ok());
+        // Sticky: every subsequent read keeps returning zero.
+        EXPECT_EQ(r.u64(), 0u);
+        EXPECT_FALSE(r.ok());
+    }
+}
+
+TEST(Reader, TruncationAtEveryPrefixNeverReadsOob)
+{
+    sim::ByteWriter w;
+    w.u8(0xab);
+    w.u32(0xdeadbeefu);
+    w.u64(42);
+    w.str("payload");
+    w.varU64(12345);
+    w.vecU64({1, 2, 3});
+    const std::string full = w.data();
+
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        sim::ByteReader r(std::string_view(full).substr(0, cut));
+        r.u8();
+        r.u32();
+        r.u64();
+        r.str();
+        r.varU64();
+        r.vecU64();
+        EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes";
+    }
+    sim::ByteReader r(full);
+    r.u8();
+    r.u32();
+    r.u64();
+    r.str();
+    r.varU64();
+    EXPECT_EQ(r.vecU64(), (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Reader, AbsurdVecLengthPrefixFailsWithoutAllocating)
+{
+    // A length prefix of 2^61 would make `n * 8` wrap to 0 — the
+    // validation must compare against the remaining bytes without
+    // ever multiplying the untrusted count.
+    sim::ByteWriter w;
+    w.u64(1ULL << 61);
+    sim::ByteReader r(w.data());
+    EXPECT_TRUE(r.vecU64().empty());
+    EXPECT_FALSE(r.ok());
+
+    sim::ByteWriter wf;
+    wf.u64(std::numeric_limits<std::uint64_t>::max());
+    sim::ByteReader rf(wf.data());
+    EXPECT_TRUE(rf.vecF64().empty());
+    EXPECT_FALSE(rf.ok());
+}
+
+TEST(Reader, AbsurdStringLengthFails)
+{
+    sim::ByteWriter w;
+    w.u64(std::numeric_limits<std::uint64_t>::max());
+    w.u8(0x55);
+    sim::ByteReader r(w.data());
+    EXPECT_TRUE(r.str().empty());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, GarbageTailDetectedByAtEnd)
+{
+    sim::ByteWriter w;
+    w.u64(7);
+    std::string data = w.take();
+    data.push_back('\x99'); // trailing byte a strict consumer rejects
+    sim::ByteReader r(data);
+    EXPECT_EQ(r.u64(), 7u);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.atEnd());
+    EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Reader, RemainingAndPosTrackConsumption)
+{
+    sim::ByteWriter w;
+    w.u32(1);
+    w.u32(2);
+    sim::ByteReader r(w.data());
+    EXPECT_EQ(r.remaining(), 8u);
+    r.u32();
+    EXPECT_EQ(r.pos(), 4u);
+    EXPECT_EQ(r.remaining(), 4u);
+    r.u32();
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Hash, IncrementalStepMatchesOneShot)
+{
+    const std::string data = "middlesim incremental hash check";
+    const std::uint64_t whole = sim::fnv1a64(data);
+    std::uint64_t h = sim::fnv1a64Init;
+    for (std::size_t i = 0; i < data.size(); i += 7)
+        h = sim::fnv1a64Step(
+            h, std::string_view(data).substr(i, 7));
+    EXPECT_EQ(h, whole);
+    EXPECT_EQ(sim::fnv1a64Step(sim::fnv1a64Init, data), whole);
+}
+
+TEST(Zigzag, MappingIsOrderPreservingOnMagnitude)
+{
+    EXPECT_EQ(sim::zigzagEncode(0), 0u);
+    EXPECT_EQ(sim::zigzagEncode(-1), 1u);
+    EXPECT_EQ(sim::zigzagEncode(1), 2u);
+    EXPECT_EQ(sim::zigzagEncode(-2), 3u);
+    for (std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                           std::numeric_limits<std::int64_t>::min(),
+                           std::numeric_limits<std::int64_t>::max()})
+        EXPECT_EQ(sim::zigzagDecode(sim::zigzagEncode(v)), v);
+}
