@@ -1,0 +1,127 @@
+/**
+ * @file
+ * JVM allocation/GC invariant checker.
+ *
+ * Attached to the jvm::Jvm as its JvmObserver; verifies:
+ *
+ *  - every issued TLAB lies inside the young generation (trigger plus
+ *    safepoint-drain overshoot) and is disjoint from every other live
+ *    TLAB;
+ *  - every allocation lands inside the allocating thread's TLAB;
+ *  - during a collection, the memory checker's stop-the-world window
+ *    is armed: no application CPU references the young generation,
+ *    and each to-space line is copied at most once.
+ */
+
+#ifndef CHECK_JVM_CHECKER_HH
+#define CHECK_JVM_CHECKER_HH
+
+#include <unordered_map>
+#include <utility>
+
+#include "check/mem_checker.hh"
+#include "check/report.hh"
+#include "jvm/jvm.hh"
+
+namespace middlesim::check
+{
+
+/** Verifier of TLAB and collection invariants. */
+class JvmChecker final : public jvm::JvmObserver
+{
+  public:
+    /**
+     * @param mem when non-null, collection begin/end arms/disarms its
+     *        stop-the-world window checks (gc_cpu is the CPU the
+     *        collector thread is bound to).
+     */
+    JvmChecker(const jvm::Jvm &jvm, unsigned gc_cpu,
+               CheckReport &report, MemChecker *mem = nullptr)
+        : report_(report), mem_(mem), gcCpu_(gc_cpu)
+    {
+        const jvm::HeapParams &hp = jvm.params().heap;
+        youngBase_ = jvm.heap().newGenBase();
+        tlabLimit_ = youngBase_ + hp.newGenBytes + hp.overshootBytes;
+    }
+
+    void
+    onTlabIssued(unsigned tid, mem::Addr base, mem::Addr end) override
+    {
+        using sim::formatMessage;
+        if (base < youngBase_ || end > tlabLimit_ || base >= end) {
+            report_.violate("jvm.tlab-out-of-heap",
+                formatMessage("tid ", tid, " TLAB [0x", std::hex, base,
+                              ", 0x", end, ") outside young region "
+                              "[0x", youngBase_, ", 0x", tlabLimit_,
+                              ")", std::dec),
+                0);
+        }
+        for (const auto &[other, span] : tlabs_) {
+            if (other != tid && base < span.second &&
+                span.first < end) {
+                report_.violate("jvm.tlab-overlap",
+                    formatMessage("tid ", tid, " TLAB [0x", std::hex,
+                                  base, ", 0x", end,
+                                  ") overlaps tid ", std::dec, other,
+                                  "'s TLAB"),
+                    0);
+            }
+        }
+        tlabs_[tid] = {base, end};
+    }
+
+    void
+    onAllocate(unsigned tid, mem::Addr addr, std::uint64_t bytes)
+        override
+    {
+        const auto it = tlabs_.find(tid);
+        if (it == tlabs_.end() || addr < it->second.first ||
+            addr + bytes > it->second.second) {
+            report_.violate("jvm.alloc-outside-tlab",
+                sim::formatMessage("tid ", tid, " allocated ", bytes,
+                                   " bytes at 0x", std::hex, addr,
+                                   std::dec,
+                                   " outside its current TLAB"),
+                0);
+        }
+    }
+
+    void
+    onCollectionBegin(const jvm::GcWork &work) override
+    {
+        if (mem_) {
+            // The young generation proper ends where the survivor
+            // to-space ends; the overshoot slack beyond it overlaps
+            // old-generation service lines (locks), which other CPUs
+            // may legally touch.
+            const mem::Addr young_limit =
+                work.toBase + work.survivorBytes;
+            mem_->beginGcWindow(work.fromBase, young_limit, work.toBase,
+                                young_limit, gcCpu_);
+        }
+    }
+
+    void
+    onCollectionEnd(bool /* major */) override
+    {
+        // endCollection() resets the young generation and zeroes all
+        // TLABs; mirror that here.
+        tlabs_.clear();
+        if (mem_)
+            mem_->endGcWindow();
+    }
+
+  private:
+    CheckReport &report_;
+    MemChecker *mem_;
+    unsigned gcCpu_;
+    mem::Addr youngBase_ = 0;
+    mem::Addr tlabLimit_ = 0;
+    /** Live TLABs: tid -> [base, end). */
+    std::unordered_map<unsigned, std::pair<mem::Addr, mem::Addr>>
+        tlabs_;
+};
+
+} // namespace middlesim::check
+
+#endif // CHECK_JVM_CHECKER_HH

@@ -1,0 +1,472 @@
+#include "check/mem_checker.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "mem/coherence.hh"
+
+namespace middlesim::check
+{
+
+using mem::CoherenceState;
+using sim::formatMessage;
+
+namespace
+{
+
+const char *
+stateName(CoherenceState s)
+{
+    return mem::toString(s);
+}
+
+} // namespace
+
+MemChecker::MemChecker(const mem::Hierarchy &hierarchy,
+                       CheckReport &report)
+    : h_(hierarchy), report_(report), groups_(hierarchy.numGroups()),
+      cpus_(hierarchy.config().totalCpus)
+{
+    preState_.resize(groups_);
+}
+
+mem::Addr
+MemChecker::blockOf(mem::Addr addr) const
+{
+    return h_.l2Array(0).blockAddr(addr);
+}
+
+MemChecker::Shadow &
+MemChecker::shadowFor(mem::Addr block)
+{
+    Shadow &sh = shadow_[block];
+    if (sh.state.empty()) {
+        sh.state.assign(groups_, 0);
+        sh.value.assign(groups_, 0);
+    }
+    return sh;
+}
+
+mem::CoherenceState
+MemChecker::actualState(unsigned group, mem::Addr block) const
+{
+    const mem::CacheLine *line = h_.l2Array(group).find(block);
+    return line ? line->state : CoherenceState::Invalid;
+}
+
+void
+MemChecker::preAccess(const mem::MemRef &ref, sim::Tick now)
+{
+    report_.refIndex = report_.refsChecked;
+    ++report_.refsChecked;
+
+    const mem::Addr block = blockOf(ref.addr);
+    Shadow &sh = shadowFor(block);
+
+    // 1. Reconcile shadow vs actual per-group L2 state. Between two
+    //    accesses to a block the only legal change is a silent
+    //    eviction (valid -> Invalid); a replacement also clears the
+    //    invalidation removal cause, mirroring evictLine().
+    std::uint32_t validMask = 0;
+    unsigned modifiedCount = 0;
+    unsigned ownerCount = 0;
+    unsigned validCount = 0;
+    for (unsigned g = 0; g < groups_; ++g) {
+        const CoherenceState actual = actualState(g, block);
+        preState_[g] = static_cast<std::uint8_t>(actual);
+        const auto expect = static_cast<CoherenceState>(sh.state[g]);
+        if (actual != expect) {
+            if (actual == CoherenceState::Invalid) {
+                sh.lastInval &= ~(1u << g);
+            } else {
+                report_.violate("mosi.silent-transition",
+                    formatMessage("block 0x", std::hex, block, std::dec,
+                                  " group ", g, " changed ",
+                                  stateName(expect), " -> ",
+                                  stateName(actual),
+                                  " without an access"),
+                    now);
+                // Adopt the data too, so one protocol bug does not
+                // cascade into a stale-copy report on every access.
+                sh.value[g] = sh.golden;
+            }
+            sh.state[g] = static_cast<std::uint8_t>(actual);
+        }
+        if (actual != CoherenceState::Invalid) {
+            validMask |= 1u << g;
+            ++validCount;
+            if (actual == CoherenceState::Modified)
+                ++modifiedCount;
+            if (mem::isOwner(actual))
+                ++ownerCount;
+        }
+    }
+
+    // 2. Single-writer / single-owner.
+    if (modifiedCount > 0 && validCount > 1) {
+        report_.violate("mosi.modified-not-exclusive",
+            formatMessage("block 0x", std::hex, block, std::dec,
+                          " has a Modified copy alongside ",
+                          validCount - 1, " other valid copies"),
+            now);
+    }
+    if (ownerCount > 1) {
+        report_.violate("mosi.multiple-owners",
+            formatMessage("block 0x", std::hex, block, std::dec,
+                          " has ", ownerCount, " owner (M/O) copies"),
+            now);
+    }
+
+    // 3. Data-value consistency: every valid copy holds the latest
+    //    write (copies that survive a remote write are stale).
+    for (unsigned g = 0; g < groups_; ++g) {
+        if (((validMask >> g) & 1u) && sh.value[g] != sh.golden) {
+            report_.violate("value.stale-copy",
+                formatMessage("block 0x", std::hex, block, std::dec,
+                              " group ", g, " holds write #",
+                              sh.value[g], " but latest is #",
+                              sh.golden),
+                now);
+        }
+    }
+
+    // 4. L1 inclusion for this block.
+    for (unsigned c = 0; c < cpus_; ++c) {
+        if ((validMask >> h_.groupOf(c)) & 1u)
+            continue;
+        if (h_.l1iArray(c).find(block) || h_.l1dArray(c).find(block)) {
+            report_.violate("incl.l1-without-l2",
+                formatMessage("cpu ", c, " L1 caches block 0x",
+                              std::hex, block, std::dec,
+                              " absent from its L2 group ",
+                              h_.groupOf(c)),
+                now);
+        }
+    }
+
+    // 5. Snoop-filter consistency.
+    const mem::LineMeta *meta = h_.peekMeta(block);
+    const std::uint32_t presence = meta ? meta->presenceMask : 0;
+    if (presence != validMask) {
+        report_.violate("meta.presence-desync",
+            formatMessage("block 0x", std::hex, block,
+                          " presence mask 0x", presence,
+                          " but valid copies 0x", validMask, std::dec),
+            now);
+    }
+
+    // 6. Snapshot for postAccess.
+    const unsigned reqGroup = h_.groupOf(ref.cpu);
+    preL2State_ = static_cast<CoherenceState>(preState_[reqGroup]);
+    preOwnerElsewhere_ = false;
+    for (unsigned g = 0; g < groups_; ++g) {
+        if (g != reqGroup &&
+            mem::isOwner(static_cast<CoherenceState>(preState_[g])))
+            preOwnerElsewhere_ = true;
+    }
+    preL1Hit_ = false;
+    if (ref.type == mem::AccessType::IFetch)
+        preL1Hit_ = h_.l1iArray(ref.cpu).find(block) != nullptr;
+    else if (ref.type == mem::AccessType::Load)
+        preL1Hit_ = h_.l1dArray(ref.cpu).find(block) != nullptr;
+    preEver_ = sh.everCached;
+    preInval_ = sh.lastInval;
+
+    // 7. Stop-the-world window invariants.
+    if (gcWindow_) {
+        if (ref.cpu != gcCpu_ && ref.addr >= youngBase_ &&
+            ref.addr < youngLimit_) {
+            report_.violate("gc.app-ref-during-safepoint",
+                formatMessage("cpu ", ref.cpu,
+                              " referenced young-generation address 0x",
+                              std::hex, ref.addr, std::dec,
+                              " during a stop-the-world collection"),
+                now);
+        }
+        if (ref.type == mem::AccessType::BlockStore &&
+            ref.addr >= toBase_ && ref.addr < toLimit_) {
+            if (++copyCounts_[block] > 1) {
+                report_.violate("gc.double-copy",
+                    formatMessage("to-space line 0x", std::hex, block,
+                                  std::dec,
+                                  " copied more than once in one "
+                                  "collection"),
+                    now);
+            }
+        }
+    }
+
+    const std::uint64_t period = report_.options().auditPeriod;
+    if (period != 0 && report_.refsChecked % period == 0)
+        auditFull(now);
+}
+
+void
+MemChecker::postAccess(const mem::MemRef &ref,
+                       const mem::AccessResult &res, sim::Tick now)
+{
+    const mem::Addr block = blockOf(ref.addr);
+    const unsigned reqGroup = h_.groupOf(ref.cpu);
+    const std::uint32_t reqBit = 1u << reqGroup;
+    Shadow &sh = shadowFor(block);
+
+    // Predict where the access should have been served from, and
+    // whether it was an L2 fetch miss, from the pre-access snapshot.
+    mem::ServedBy expected = mem::ServedBy::L2;
+    bool fetchMiss = false;
+    switch (ref.type) {
+      case mem::AccessType::IFetch:
+      case mem::AccessType::Load:
+        if (preL1Hit_) {
+            expected = mem::ServedBy::L1;
+        } else if (preL2State_ != CoherenceState::Invalid) {
+            expected = mem::ServedBy::L2;
+        } else {
+            expected = preOwnerElsewhere_ ? mem::ServedBy::Peer
+                                          : mem::ServedBy::Memory;
+            fetchMiss = true;
+        }
+        break;
+      case mem::AccessType::Store:
+      case mem::AccessType::Atomic:
+        if (preL2State_ == CoherenceState::Modified) {
+            expected = mem::ServedBy::L2;
+        } else if (preL2State_ != CoherenceState::Invalid) {
+            expected = mem::ServedBy::UpgradeOnly;
+        } else {
+            expected = preOwnerElsewhere_ ? mem::ServedBy::Peer
+                                          : mem::ServedBy::Memory;
+            fetchMiss = true;
+        }
+        break;
+      case mem::AccessType::BlockStore:
+        expected = mem::ServedBy::L2;
+        break;
+    }
+    if (res.servedBy != expected) {
+        report_.violate("check.servedby-mismatch",
+            formatMessage("block 0x", std::hex, block, std::dec,
+                          " cpu ", ref.cpu, ": served by ",
+                          static_cast<int>(res.servedBy),
+                          " but shadow model expected ",
+                          static_cast<int>(expected)),
+            now);
+    }
+
+    // Miss classification must match the shadow removal-cause masks.
+    if (fetchMiss) {
+        mem::MissClass expectClass;
+        if (!(preEver_ & reqBit))
+            expectClass = mem::MissClass::Cold;
+        else if (preInval_ & reqBit)
+            expectClass = mem::MissClass::Coherence;
+        else
+            expectClass = mem::MissClass::CapacityConflict;
+        if (res.missClass != expectClass) {
+            report_.violate("classify.mismatch",
+                formatMessage("block 0x", std::hex, block, std::dec,
+                              " group ", reqGroup, ": classified ",
+                              static_cast<int>(res.missClass),
+                              " but shadow history says ",
+                              static_cast<int>(expectClass)),
+                now);
+        }
+    } else if (res.missClass != mem::MissClass::None) {
+        report_.violate("classify.mismatch",
+            formatMessage("block 0x", std::hex, block, std::dec,
+                          " hit carries a miss classification"),
+            now);
+    }
+
+    const bool write = mem::isWrite(ref.type);
+    if (write) {
+        // A completed write leaves the writer Modified and every
+        // other group's copy (L2 and L1s) gone.
+        if (actualState(reqGroup, block) != CoherenceState::Modified) {
+            report_.violate("mosi.requester-not-exclusive",
+                formatMessage("block 0x", std::hex, block, std::dec,
+                              " group ", reqGroup, " is ",
+                              stateName(actualState(reqGroup, block)),
+                              " after a write"),
+                now);
+        }
+        for (unsigned g = 0; g < groups_; ++g) {
+            if (g == reqGroup)
+                continue;
+            const CoherenceState post = actualState(g, block);
+            if (post != CoherenceState::Invalid) {
+                report_.violate("mosi.peer-not-invalidated",
+                    formatMessage("block 0x", std::hex, block, std::dec,
+                                  " group ", g, " still ",
+                                  stateName(post),
+                                  " after a remote write"),
+                    now);
+            }
+        }
+        for (unsigned c = 0; c < cpus_; ++c) {
+            if (h_.groupOf(c) == reqGroup)
+                continue;
+            if (h_.l1iArray(c).find(block) ||
+                h_.l1dArray(c).find(block)) {
+                report_.violate("incl.l1-stale-after-write",
+                    formatMessage("cpu ", c,
+                                  " L1 kept block 0x", std::hex, block,
+                                  std::dec, " across a remote write"),
+                    now);
+            }
+        }
+    } else if (fetchMiss) {
+        // A read snoop degrades a Modified peer to Owned.
+        for (unsigned g = 0; g < groups_; ++g) {
+            if (g == reqGroup)
+                continue;
+            const auto pre = static_cast<CoherenceState>(preState_[g]);
+            const CoherenceState post = actualState(g, block);
+            if (pre == CoherenceState::Modified &&
+                post != CoherenceState::Owned) {
+                report_.violate("mosi.snoop-degrade",
+                    formatMessage("block 0x", std::hex, block, std::dec,
+                                  " group ", g, " stayed ",
+                                  stateName(post),
+                                  " across a remote read snoop"),
+                    now);
+            }
+        }
+    }
+
+    // Shadow bookkeeping, mirroring classifyMiss() and the
+    // block-store claim path.
+    if (fetchMiss ||
+        (ref.type == mem::AccessType::BlockStore &&
+         preL2State_ == CoherenceState::Invalid)) {
+        sh.everCached |= reqBit;
+        sh.lastInval &= ~reqBit;
+    }
+    if (write) {
+        for (unsigned g = 0; g < groups_; ++g) {
+            if (g == reqGroup)
+                continue;
+            const auto pre = static_cast<CoherenceState>(preState_[g]);
+            if (pre != CoherenceState::Invalid &&
+                actualState(g, block) == CoherenceState::Invalid)
+                sh.lastInval |= 1u << g;
+        }
+        sh.golden = ++writeSeq_;
+    }
+    for (unsigned g = 0; g < groups_; ++g)
+        sh.state[g] = static_cast<std::uint8_t>(actualState(g, block));
+    // The requester's copy now holds the latest data: a write just
+    // produced it, and a fill came from the owner or from memory.
+    if (sh.state[reqGroup] !=
+        static_cast<std::uint8_t>(CoherenceState::Invalid))
+        sh.value[reqGroup] = sh.golden;
+}
+
+void
+MemChecker::onInvalidateAll()
+{
+    shadow_.clear();
+    copyCounts_.clear();
+}
+
+void
+MemChecker::beginGcWindow(mem::Addr young_base, mem::Addr young_limit,
+                          mem::Addr to_base, mem::Addr to_limit,
+                          unsigned gc_cpu)
+{
+    gcWindow_ = true;
+    youngBase_ = young_base;
+    youngLimit_ = young_limit;
+    toBase_ = to_base;
+    toLimit_ = to_limit;
+    gcCpu_ = gc_cpu;
+    copyCounts_.clear();
+}
+
+void
+MemChecker::endGcWindow()
+{
+    gcWindow_ = false;
+    copyCounts_.clear();
+}
+
+void
+MemChecker::auditFull(sim::Tick now)
+{
+    struct Agg
+    {
+        std::uint32_t valid = 0;
+        std::uint32_t owner = 0;
+        std::uint32_t modified = 0;
+    };
+    std::unordered_map<mem::Addr, Agg> blocks;
+    for (unsigned g = 0; g < groups_; ++g) {
+        h_.l2Array(g).forEach([&](const mem::CacheLine &line) {
+            Agg &a = blocks[line.tag];
+            a.valid |= 1u << g;
+            if (mem::isOwner(line.state))
+                a.owner |= 1u << g;
+            if (line.state == CoherenceState::Modified)
+                a.modified |= 1u << g;
+        });
+    }
+
+    for (const auto &[block, a] : blocks) {
+        if (a.modified != 0 && std::popcount(a.valid) > 1) {
+            report_.violate("mosi.modified-not-exclusive",
+                formatMessage("audit: block 0x", std::hex, block,
+                              " Modified in mask 0x", a.modified,
+                              " with valid mask 0x", a.valid,
+                              std::dec),
+                now);
+        }
+        if (std::popcount(a.owner) > 1) {
+            report_.violate("mosi.multiple-owners",
+                formatMessage("audit: block 0x", std::hex, block,
+                              " owner mask 0x", a.owner, std::dec),
+                now);
+        }
+        const mem::LineMeta *meta = h_.peekMeta(block);
+        if ((meta ? meta->presenceMask : 0) != a.valid) {
+            report_.violate("meta.presence-desync",
+                formatMessage("audit: block 0x", std::hex, block,
+                              " presence 0x",
+                              meta ? meta->presenceMask : 0,
+                              " but valid mask 0x", a.valid, std::dec),
+                now);
+        }
+    }
+
+    // Presence bits claiming blocks no L2 actually holds.
+    h_.forEachMeta([&](mem::Addr block, const mem::LineMeta &meta) {
+        if (meta.presenceMask == 0 || blocks.count(block))
+            return;
+        report_.violate("meta.presence-desync",
+            formatMessage("audit: block 0x", std::hex, block,
+                          " presence 0x", meta.presenceMask, std::dec,
+                          " but no valid L2 copy exists"),
+            now);
+    });
+
+    // Full L1 inclusion.
+    for (unsigned c = 0; c < cpus_; ++c) {
+        const unsigned g = h_.groupOf(c);
+        const auto checkL1 = [&](const mem::CacheArray &l1,
+                                 const char *which) {
+            l1.forEach([&](const mem::CacheLine &line) {
+                if (!h_.l2Array(g).find(line.tag)) {
+                    report_.violate("incl.l1-without-l2",
+                        formatMessage("audit: cpu ", c, " ", which,
+                                      " caches block 0x", std::hex,
+                                      line.tag, std::dec,
+                                      " absent from L2 group ", g),
+                        now);
+                }
+            });
+        };
+        checkL1(h_.l1iArray(c), "l1i");
+        checkL1(h_.l1dArray(c), "l1d");
+    }
+}
+
+} // namespace middlesim::check

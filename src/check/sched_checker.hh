@@ -1,0 +1,83 @@
+/**
+ * @file
+ * OS-scheduling invariant checker.
+ *
+ * Attached to the os::Scheduler as its SchedObserver; verifies every
+ * dispatch decision against the processor-set and exclusivity rules
+ * the model is supposed to uphold:
+ *
+ *  - a thread runs on at most one CPU at a time;
+ *  - finished threads are never dispatched;
+ *  - bound threads run only on their bound CPU;
+ *  - application threads stay inside the processor set (psrset);
+ *  - no application thread runs during a stop-the-world collection.
+ */
+
+#ifndef CHECK_SCHED_CHECKER_HH
+#define CHECK_SCHED_CHECKER_HH
+
+#include "check/report.hh"
+#include "os/sched_observer.hh"
+#include "os/scheduler.hh"
+
+namespace middlesim::check
+{
+
+/** Dispatch-time verifier of scheduler invariants. */
+class SchedChecker final : public os::SchedObserver
+{
+  public:
+    SchedChecker(const os::Scheduler &sched, CheckReport &report)
+        : report_(report), appCpus_(sched.appCpus())
+    {
+    }
+
+    void
+    onDispatch(unsigned cpu, const os::SimThread &t, bool gc_active,
+               sim::Tick now) override
+    {
+        using sim::formatMessage;
+        if (t.state == os::ThreadState::Running) {
+            report_.violate("os.thread-on-two-cpus",
+                formatMessage("tid ", t.tid, " dispatched on cpu ", cpu,
+                              " while already running elsewhere"),
+                now);
+        }
+        if (t.state == os::ThreadState::Finished) {
+            report_.violate("os.dispatch-finished-thread",
+                formatMessage("tid ", t.tid,
+                              " dispatched on cpu ", cpu,
+                              " after finishing"),
+                now);
+        }
+        if (t.boundCpu >= 0 &&
+            static_cast<unsigned>(t.boundCpu) != cpu) {
+            report_.violate("os.bound-cpu-violation",
+                formatMessage("tid ", t.tid, " bound to cpu ",
+                              t.boundCpu, " dispatched on cpu ", cpu),
+                now);
+        }
+        if (t.inAppSet && cpu >= appCpus_) {
+            report_.violate("os.psrset-violation",
+                formatMessage("app tid ", t.tid,
+                              " dispatched outside the processor set "
+                              "on cpu ", cpu),
+                now);
+        }
+        if (t.inAppSet && gc_active) {
+            report_.violate("os.app-dispatch-during-gc",
+                formatMessage("app tid ", t.tid,
+                              " dispatched on cpu ", cpu,
+                              " during a stop-the-world collection"),
+                now);
+        }
+    }
+
+  private:
+    CheckReport &report_;
+    unsigned appCpus_;
+};
+
+} // namespace middlesim::check
+
+#endif // CHECK_SCHED_CHECKER_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shrink a violating reference stream to a minimal replayable repro.
+ *
+ * The stress driver records every stream it generates through a
+ * trace::TraceWriter. When the checker reports a violation, the
+ * recorded records are shrunk: first truncated at the violating
+ * record (nothing after it can matter), then reduced by ddmin-style
+ * chunk removal — each candidate subset is replayed into a fresh
+ * hierarchy with a fresh checker, and a removal is kept only if the
+ * SAME invariant still fires. Fault injection (mem::FaultPlan) keys
+ * off block addresses, not event counts, so removing records never
+ * changes which accesses trigger the fault — shrinking preserves the
+ * bug. The result is re-encoded as a standard `.mst` trace that
+ * `middlesim-trace replay` or violatedInvariant() can re-run.
+ */
+
+#ifndef CHECK_SHRINK_HH
+#define CHECK_SHRINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/fault.hh"
+#include "trace/format.hh"
+#include "trace/reader.hh"
+
+namespace middlesim::check
+{
+
+/** Outcome of shrinkToMinimal(). */
+struct ShrinkResult
+{
+    /** False when the input stream violated nothing. */
+    bool reproduced = false;
+    /** Invariant the minimal stream still violates. */
+    std::string invariant;
+    /** The minimal record sequence. */
+    std::vector<trace::TraceRecord> records;
+    /** Record count before shrinking. */
+    std::size_t originalCount = 0;
+    /** Replay probes spent shrinking. */
+    unsigned probes = 0;
+};
+
+/** Decode every record of `reader` (which must validate). */
+std::vector<trace::TraceRecord> collectRecords(trace::TraceReader &reader);
+
+/**
+ * Replay `records` into a fresh hierarchy built from `header` with a
+ * memory checker attached (and `fault` armed, when given). Returns
+ * the name of the first violated invariant, or "" for a clean replay.
+ */
+std::string violatedInvariant(
+    const trace::TraceHeader &header,
+    const std::vector<trace::TraceRecord> &records,
+    const mem::FaultPlan *fault = nullptr);
+
+/**
+ * Shrink `records` to a minimal subsequence still violating the same
+ * invariant as the full stream. `max_probes` bounds the replay work.
+ */
+ShrinkResult shrinkToMinimal(const trace::TraceHeader &header,
+                             std::vector<trace::TraceRecord> records,
+                             const mem::FaultPlan *fault = nullptr,
+                             unsigned max_probes = 2000);
+
+/** Encode records as a complete in-memory `.mst` trace. */
+std::string encodeTrace(const trace::TraceHeader &header,
+                        const std::vector<trace::TraceRecord> &records);
+
+/**
+ * Write the minimal repro into `dir` as
+ * `repro-seed<seed>-<invariant>.mst`. @return the path, or "" on IO
+ * failure.
+ */
+std::string writeRepro(const std::string &dir, std::uint64_t seed,
+                       const trace::TraceHeader &header,
+                       const ShrinkResult &result);
+
+} // namespace middlesim::check
+
+#endif // CHECK_SHRINK_HH

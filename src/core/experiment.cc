@@ -66,6 +66,8 @@ buildSystem(const ExperimentSpec &spec, BuiltWorkload &out)
     cfg.machine.cpusPerL2 = spec.cpusPerL2;
 
     auto system = std::make_unique<System>(cfg, spec.seed);
+    if (check::checkingEnabled())
+        system->enableChecking(check::defaultCheckOptions());
     if (spec.trackCommunication)
         system->memory().setCommunicationTracking(true);
 
@@ -144,6 +146,10 @@ measure(System &system, const ExperimentSpec &spec,
         res.beanHitRate = workload.ecperf->beanCache().hitRate();
     res.metrics = std::make_shared<sim::MetricSnapshot>(
         collectMetrics(system, spec, workload));
+    // With checking armed, audit the complete cache state before the
+    // system is torn down (fail-fast aborts here on a violation).
+    if (check::Checker *ck = system.checker())
+        ck->finalize(system.now());
     return res;
 }
 

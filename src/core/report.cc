@@ -5,6 +5,7 @@
 #include <iostream>
 #include <string>
 
+#include "check/checker.hh"
 #include "core/cache.hh"
 #include "core/metrics_io.hh"
 #include "core/trace_run.hh"
@@ -85,13 +86,19 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
                            "' (want --trace-in=DIR)");
         } else if (arg == "--no-cache") {
             no_cache = true;
+        } else if (arg == "--check") {
+            check::setCheckingEnabled(true);
         } else {
             fatal("figureMain: unknown flag '", arg,
                        "' (supported: --jobs=N, --metrics-out=PATH, "
-                       "--cache-dir=PATH, --no-cache, "
+                       "--cache-dir=PATH, --no-cache, --check, "
                        "--trace-out=DIR, --trace-in=DIR)");
         }
     }
+    // A cached result was produced without the checkers watching;
+    // checking is only meaningful for runs that actually execute.
+    if (check::checkingEnabled())
+        no_cache = true;
     configureRunCache(cache_dir, no_cache);
     configureTracingFromFlags(trace_out, trace_in);
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/checker.hh"
 #include "core/cache.hh"
 #include "core/figures_internal.hh"
 #include "core/metrics_io.hh"
@@ -183,13 +184,19 @@ runAllMain(int argc, char **argv)
                       "' (want --trace-in=DIR)");
         } else if (arg == "--no-cache") {
             no_cache = true;
+        } else if (arg == "--check") {
+            check::setCheckingEnabled(true);
         } else {
             fatal("run_all: unknown flag '", arg,
                   "' (supported: --jobs=N, --metrics-dir=DIR, "
                   "--stats-out=PATH, --cache-dir=PATH, --no-cache, "
-                  "--trace-out=DIR, --trace-in=DIR)");
+                  "--check, --trace-out=DIR, --trace-in=DIR)");
         }
     }
+    // A cached result was produced without the checkers watching;
+    // checking is only meaningful for runs that actually execute.
+    if (check::checkingEnabled())
+        no_cache = true;
     configureRunCache(cache_dir, no_cache);
     configureTracingFromFlags(trace_out, trace_in);
 

@@ -49,6 +49,15 @@ System::setTraceSink(mem::TraceSink *sink)
 }
 
 void
+System::enableChecking(const check::CheckOptions &opts)
+{
+    if (checker_)
+        return;
+    checker_ = std::make_unique<check::Checker>(*mem_, *sched_, *jvm_,
+                                                cfg_.gcCpu, opts);
+}
+
+void
 System::account(unsigned cpu, exec::ExecMode mode, sim::Tick before)
 {
     const sim::Tick now = cores_[cpu]->now();

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker.hh"
 #include "cpu/core.hh"
 #include "exec/program.hh"
 #include "jvm/jvm.hh"
@@ -125,6 +126,17 @@ class System
     void setTraceSink(mem::TraceSink *sink);
     mem::TraceSink *traceSink() const { return trace_; }
 
+    /**
+     * Attach a full invariant-checking session (memory + scheduler +
+     * JVM observers) to this machine. Idempotent per System; checking
+     * is read-only and never changes simulation results.
+     */
+    void enableChecking(const check::CheckOptions &opts =
+                            check::CheckOptions());
+
+    /** The attached checker, or nullptr when checking is off. */
+    check::Checker *checker() { return checker_.get(); }
+
   private:
     void runCpu(unsigned cpu, sim::Tick window_end);
     void executeBurst(cpu::InOrderCore &core, const exec::Burst &burst);
@@ -176,6 +188,12 @@ class System
     mem::TraceSink *trace_ = nullptr;
     /** Last mode recorded per CPU (-1 = none); dedupes ModeSwitch. */
     std::vector<int> tracedMode_;
+
+    /**
+     * Declared last: the checker holds observers registered with the
+     * subsystems above and must detach before they are destroyed.
+     */
+    std::unique_ptr<check::Checker> checker_;
 };
 
 } // namespace middlesim::core

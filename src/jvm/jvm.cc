@@ -39,10 +39,14 @@ Jvm::allocate(unsigned tid, std::uint64_t bytes, exec::Burst *burst)
         if (burst)
             burst->atomic(allocTopLine_);
         ++*tlabRefills_;
+        if (observer_)
+            observer_->onTlabIssued(tid, tlab.cursor, tlab.end);
     }
     const mem::Addr addr = tlab.cursor;
     tlab.cursor += bytes;
     *allocBytes_ += bytes;
+    if (observer_)
+        observer_->onAllocate(tid, addr, bytes);
 
     if (burst) {
         // Object initialization: header plus zeroing, one store per
@@ -108,6 +112,8 @@ Jvm::beginCollection()
              static_cast<double>(work.youngUsed)) + 63) &
         ~std::uint64_t{63};
 
+    if (observer_)
+        observer_->onCollectionBegin(work);
     return std::make_unique<GcProgram>(work, rng_.fork());
 }
 
@@ -154,6 +160,8 @@ Jvm::endCollection(sim::Tick start, sim::Tick end)
     stats_.log.push_back(rec);
     gcPause_->add(rec.duration / 1000);
     pendingMajor_ = false;
+    if (observer_)
+        observer_->onCollectionEnd(rec.major);
 }
 
 exec::Lock &

@@ -75,6 +75,31 @@ struct JvmParams
     std::uint64_t paperYoungBytes = 400ULL << 20;
 };
 
+/**
+ * Allocation/GC inspection hook (src/check/). Same contract as
+ * mem::AccessObserver: optionally attached, read only, a single
+ * not-taken branch when absent.
+ */
+class JvmObserver
+{
+  public:
+    virtual ~JvmObserver() = default;
+
+    /** Thread `tid` received a fresh TLAB spanning [base, end). */
+    virtual void onTlabIssued(unsigned tid, mem::Addr base,
+                              mem::Addr end) = 0;
+
+    /** Thread `tid` bump-allocated `bytes` at `addr`. */
+    virtual void onAllocate(unsigned tid, mem::Addr addr,
+                            std::uint64_t bytes) = 0;
+
+    /** A collection is starting with the given work description. */
+    virtual void onCollectionBegin(const GcWork &work) = 0;
+
+    /** The collection finished (`major` = mark-compact). */
+    virtual void onCollectionEnd(bool major) = 0;
+};
+
 /** One completed collection (for timelines and Figure 11). */
 struct GcRecord
 {
@@ -162,6 +187,9 @@ class Jvm
     const Stats &stats() const { return stats_; }
     void resetStats();
 
+    /** Attach an allocation/GC invariant observer (nullptr detaches). */
+    void setObserver(JvmObserver *obs) { observer_ = obs; }
+
   private:
     struct Tlab
     {
@@ -187,6 +215,7 @@ class Jvm
     std::uint64_t pendingPromoteBytes_ = 0;
     unsigned nextTid_ = 0;
     Stats stats_;
+    JvmObserver *observer_ = nullptr;
 
     sim::Counter *allocBytes_;
     sim::Counter *tlabRefills_;

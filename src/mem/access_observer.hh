@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The zero-overhead-when-off inspection interface of the invariant
+ * checking subsystem (src/check/).
+ *
+ * AccessObserver is the memory-system analogue of mem::TraceSink: an
+ * optionally-attached observer that Hierarchy::access() calls
+ * immediately before and immediately after processing each reference.
+ * When none is attached the cost is a predictable-not-taken branch;
+ * when one is attached it may read any hierarchy state through the
+ * const inspection API (l1iArray / l1dArray / l2Array / peekMeta) but
+ * must never mutate the simulation — checking a run must leave its
+ * results byte-identical to an unchecked run.
+ */
+
+#ifndef MEM_ACCESS_OBSERVER_HH
+#define MEM_ACCESS_OBSERVER_HH
+
+#include "mem/memref.hh"
+#include "mem/stats.hh"
+#include "sim/ticks.hh"
+
+namespace middlesim::mem
+{
+
+/** Pre/post inspection hook around every hierarchy access. */
+class AccessObserver
+{
+  public:
+    virtual ~AccessObserver() = default;
+
+    /** Called before the hierarchy processes `ref`. */
+    virtual void preAccess(const MemRef &ref, sim::Tick now) = 0;
+
+    /** Called after `ref` completed with result `res`. */
+    virtual void postAccess(const MemRef &ref, const AccessResult &res,
+                            sim::Tick now) = 0;
+
+    /** Hierarchy::invalidateAll() dropped every cached copy. */
+    virtual void onInvalidateAll() {}
+};
+
+} // namespace middlesim::mem
+
+#endif // MEM_ACCESS_OBSERVER_HH

@@ -87,6 +87,12 @@ class BlockMetaTable
         return slot.key == kEmpty ? nullptr : &slot.meta;
     }
 
+    const LineMeta *
+    find(Addr block) const
+    {
+        return const_cast<BlockMetaTable *>(this)->find(block);
+    }
+
     /** Number of blocks with metadata. */
     std::size_t size() const { return size_; }
 
@@ -105,6 +111,16 @@ class BlockMetaTable
     forEach(F &&fn)
     {
         for (Slot &slot : slots_) {
+            if (slot.key != kEmpty)
+                fn(slot.key, slot.meta);
+        }
+    }
+
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (const Slot &slot : slots_) {
             if (slot.key != kEmpty)
                 fn(slot.key, slot.meta);
         }

@@ -140,6 +140,17 @@ class CacheArray
     /** Iterate lines of the set containing addr (for snoops/tests). */
     std::pair<const CacheLine *, const CacheLine *> setOf(Addr addr) const;
 
+    /** Visit every valid line (checker audits; order unspecified). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (const CacheLine &line : lines_) {
+            if (line.valid())
+                fn(line);
+        }
+    }
+
   private:
     std::uint64_t
     setIndex(Addr addr) const

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic coherence-fault injection for checker validation.
+ *
+ * A FaultPlan makes the hierarchy deliberately mis-handle a selected
+ * subset of blocks so that tests and the stress driver can prove the
+ * invariant checkers actually catch protocol bugs. No production code
+ * path installs a plan; the pointer is nullptr outside tests.
+ *
+ * Matching is purely state-based — a hash of the block address
+ * against `period`/`salt`, plus a victim-group mask — never
+ * event-count-based. This matters for trace shrinking: removing
+ * records from a failing reference stream must not change which
+ * accesses trigger the fault, or the minimized repro would no longer
+ * reproduce.
+ */
+
+#ifndef MEM_FAULT_HH
+#define MEM_FAULT_HH
+
+#include <cstdint>
+
+#include "mem/memref.hh"
+
+namespace middlesim::mem
+{
+
+/** A seeded protocol defect to inject into the hierarchy. */
+struct FaultPlan
+{
+    enum class Kind : std::uint8_t
+    {
+        None = 0,
+        /**
+         * A remote write fails to invalidate the matched group's L2
+         * copy: stale Shared/Owned/Modified copies survive a GetM.
+         */
+        DropInvalidate,
+        /**
+         * A snooped owner fails to degrade Modified -> Owned on a
+         * remote GetS, leaving M coexisting with the requester's S.
+         */
+        KeepOwnerOnSnoop,
+        /**
+         * An L2 removal fails to back-invalidate the matched group's
+         * L1 copies, breaking L1 subset inclusion.
+         */
+        SkipL1BackInvalidate,
+    };
+
+    Kind kind = Kind::None;
+    /** Match every block whose hashed index is 0 mod `period`. */
+    std::uint64_t period = 4;
+    /** Perturbs which blocks match (varied by the stress driver). */
+    std::uint64_t salt = 0;
+    /** L2 groups whose copy the fault affects. */
+    std::uint32_t groupMask = ~0u;
+
+    /** True if the fault fires for (block, victim group). */
+    bool
+    matches(Addr block, unsigned group) const
+    {
+        if (kind == Kind::None || period == 0)
+            return false;
+        if (!((groupMask >> group) & 1u))
+            return false;
+        return ((block >> 6) + salt) % period == 0;
+    }
+};
+
+/** Stable display name of a fault kind (stress driver / tests). */
+inline const char *
+toString(FaultPlan::Kind k)
+{
+    switch (k) {
+      case FaultPlan::Kind::None:                 return "none";
+      case FaultPlan::Kind::DropInvalidate:       return "drop-invalidate";
+      case FaultPlan::Kind::KeepOwnerOnSnoop:     return "keep-owner";
+      case FaultPlan::Kind::SkipL1BackInvalidate: return "skip-l1-back-inval";
+    }
+    return "?";
+}
+
+} // namespace middlesim::mem
+
+#endif // MEM_FAULT_HH

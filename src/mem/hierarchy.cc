@@ -42,7 +42,7 @@ Hierarchy::Hierarchy(const sim::MachineConfig &config,
 }
 
 AccessResult
-Hierarchy::access(const MemRef &ref, sim::Tick now)
+Hierarchy::accessImpl(const MemRef &ref, sim::Tick now)
 {
     if (traceSink_)
         traceSink_->ref(ref, now);
@@ -134,7 +134,8 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
             peers &= peers - 1;
             CacheLine *peer = l2_[g].find(ref.addr);
             sim_assert(peer, "presence mask out of sync (upgrade)");
-            invalidateForRemoteWrite(g, *peer, meta);
+            if (!faultFires(FaultPlan::Kind::DropInvalidate, block, g))
+                invalidateForRemoteWrite(g, *peer, meta);
         }
         const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
         line->state = CoherenceState::Modified;
@@ -162,8 +163,10 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
             ++*copybacksSupplied_;
         }
         if (want_write) {
-            invalidateForRemoteWrite(g, *peer, meta);
-        } else {
+            if (!faultFires(FaultPlan::Kind::DropInvalidate, block, g))
+                invalidateForRemoteWrite(g, *peer, meta);
+        } else if (!faultFires(FaultPlan::Kind::KeepOwnerOnSnoop, block,
+                               g)) {
             peer->state = peerAfterGetS(peer->state);
         }
     }
@@ -251,7 +254,8 @@ Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
             peers &= peers - 1;
             CacheLine *peer = l2_[g].find(ref.addr);
             sim_assert(peer, "presence mask out of sync (blockstore)");
-            invalidateForRemoteWrite(g, *peer, meta);
+            if (!faultFires(FaultPlan::Kind::DropInvalidate, block, g))
+                invalidateForRemoteWrite(g, *peer, meta);
         }
         const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
         line->state = CoherenceState::Modified;
@@ -269,7 +273,8 @@ Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
         peers &= peers - 1;
         CacheLine *peer = l2_[g].find(ref.addr);
         sim_assert(peer, "presence mask out of sync (blockstore claim)");
-        invalidateForRemoteWrite(g, *peer, meta);
+        if (!faultFires(FaultPlan::Kind::DropInvalidate, block, g))
+            invalidateForRemoteWrite(g, *peer, meta);
     }
     const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
     meta.everCachedMask |= 1u << group;
@@ -340,6 +345,8 @@ Hierarchy::invalidateForRemoteWrite(unsigned group, CacheLine &line,
 void
 Hierarchy::backInvalidateL1s(unsigned group, Addr block)
 {
+    if (faultFires(FaultPlan::Kind::SkipL1BackInvalidate, block, group))
+        return;
     const unsigned first = group * cfg_.cpusPerL2;
     const unsigned last = first + cfg_.cpusPerL2;
     for (unsigned c = first; c < last && c < cfg_.totalCpus; ++c) {
@@ -438,6 +445,8 @@ Hierarchy::invalidateAll()
 {
     if (traceSink_)
         traceSink_->annotation(TraceAnnotation::InvalidateAll, 0, 0, 0);
+    if (observer_)
+        observer_->onInvalidateAll();
     for (auto &c : l1i_)
         c.invalidateAll();
     for (auto &c : l1d_)

@@ -27,9 +27,11 @@
 #include <memory>
 #include <vector>
 
+#include "mem/access_observer.hh"
 #include "mem/block_meta.hh"
 #include "mem/bus.hh"
 #include "mem/cache_array.hh"
+#include "mem/fault.hh"
 #include "mem/latency.hh"
 #include "mem/memref.hh"
 #include "mem/stats.hh"
@@ -82,7 +84,16 @@ class Hierarchy
               sim::MetricRegistry *metrics = nullptr);
 
     /** Perform one access; returns latency and classification. */
-    AccessResult access(const MemRef &ref, sim::Tick now);
+    AccessResult
+    access(const MemRef &ref, sim::Tick now)
+    {
+        if (observer_)
+            observer_->preAccess(ref, now);
+        const AccessResult res = accessImpl(ref, now);
+        if (observer_)
+            observer_->postAccess(ref, res, now);
+        return res;
+    }
 
     /** L2 group serving a CPU. */
     unsigned groupOf(unsigned cpu) const { return cpu / cfg_.cpusPerL2; }
@@ -130,8 +141,42 @@ class Hierarchy
      */
     void setTraceSink(TraceSink *sink) { traceSink_ = sink; }
 
+    /**
+     * Attach an invariant-checking observer (src/check/); nullptr
+     * detaches. Observers are read-only: attaching one never changes
+     * simulation results.
+     */
+    void setAccessObserver(AccessObserver *obs) { observer_ = obs; }
+
+    /**
+     * Install a deterministic coherence fault (tests/stress only);
+     * nullptr disarms. The plan is borrowed and must outlive its use.
+     */
+    void setFaultPlan(const FaultPlan *plan) { fault_ = plan; }
+
     /** Coherence state of a block in the L2 serving `cpu`. */
     CoherenceState peekState(unsigned cpu, Addr addr) const;
+
+    // Read-only inspection API for checkers and tests.
+    unsigned numGroups() const { return cfg_.numL2s(); }
+    const CacheArray &l1iArray(unsigned cpu) const { return l1i_[cpu]; }
+    const CacheArray &l1dArray(unsigned cpu) const { return l1d_[cpu]; }
+    const CacheArray &l2Array(unsigned group) const { return l2_[group]; }
+
+    /** Per-block metadata of `block` (nullptr when never cached). */
+    const LineMeta *
+    peekMeta(Addr block) const
+    {
+        return meta_.find(block);
+    }
+
+    /** Visit every per-block metadata entry (checker audits). */
+    template <typename F>
+    void
+    forEachMeta(F &&fn) const
+    {
+        meta_.forEach(std::forward<F>(fn));
+    }
 
     /** Invalidate all caches (dirty data is dropped; test/phase use). */
     void invalidateAll();
@@ -168,8 +213,19 @@ class Hierarchy
     const LatencyModel &latency() const { return lat_; }
 
   private:
+    /** The access dispatch proper (observer hooks live in access()). */
+    AccessResult accessImpl(const MemRef &ref, sim::Tick now);
+
     AccessResult l2Access(const MemRef &ref, sim::Tick now,
                           bool is_instr, bool want_write);
+
+    /** True if an armed FaultPlan of `kind` fires for (block, group). */
+    bool
+    faultFires(FaultPlan::Kind kind, Addr block, unsigned group) const
+    {
+        return fault_ && fault_->kind == kind &&
+               fault_->matches(block, group);
+    }
 
     /** Classify an L2 miss for group g and update metadata. */
     MissClass classifyMiss(LineMeta &meta, unsigned group);
@@ -221,6 +277,8 @@ class Hierarchy
     std::unique_ptr<TimelineSampler> timeline_;
     SweepSimulator *sweepTap_ = nullptr;
     TraceSink *traceSink_ = nullptr;
+    AccessObserver *observer_ = nullptr;
+    const FaultPlan *fault_ = nullptr;
 };
 
 } // namespace middlesim::mem

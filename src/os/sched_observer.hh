@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Dispatch-time inspection hook for the scheduler (src/check/).
+ *
+ * Same contract as mem::AccessObserver: optionally attached, read
+ * only, a single not-taken branch when absent. The scheduler calls
+ * the observer at every dispatch decision, *before* the chosen thread
+ * is marked Running, so the checker sees the pre-dispatch state (a
+ * thread already in Running state here is being placed on two CPUs).
+ */
+
+#ifndef OS_SCHED_OBSERVER_HH
+#define OS_SCHED_OBSERVER_HH
+
+#include "os/thread.hh"
+#include "sim/ticks.hh"
+
+namespace middlesim::os
+{
+
+/** Receiver of scheduler dispatch events. */
+class SchedObserver
+{
+  public:
+    virtual ~SchedObserver() = default;
+
+    /**
+     * Thread `t` was chosen to run on `cpu` at time `now` (state not
+     * yet updated). `gc_active` is the stop-the-world flag the
+     * dispatcher honored.
+     */
+    virtual void onDispatch(unsigned cpu, const SimThread &t,
+                            bool gc_active, sim::Tick now) = 0;
+};
+
+} // namespace middlesim::os
+
+#endif // OS_SCHED_OBSERVER_HH

@@ -65,6 +65,8 @@ Scheduler::pickFor(unsigned cpu, sim::Tick now, bool gc_active)
     if (!bq.empty()) {
         const unsigned tid = bq.front();
         bq.pop_front();
+        if (observer_)
+            observer_->onDispatch(cpu, threads_[tid], gc_active, now);
         threads_[tid].state = ThreadState::Running;
         return static_cast<int>(tid);
     }
@@ -82,6 +84,8 @@ Scheduler::pickFor(unsigned cpu, sim::Tick now, bool gc_active)
             if (threads_[tid].lastCpu == static_cast<int>(cpu)) {
                 runQueue_.erase(runQueue_.begin() +
                                 static_cast<long>(i));
+                if (observer_)
+                    observer_->onDispatch(cpu, threads_[tid], gc_active, now);
                 threads_[tid].state = ThreadState::Running;
                 return static_cast<int>(tid);
             }
@@ -95,6 +99,8 @@ Scheduler::pickFor(unsigned cpu, sim::Tick now, bool gc_active)
                 now >= t.queuedSince + rechoose_) {
                 runQueue_.erase(runQueue_.begin() +
                                 static_cast<long>(i));
+                if (observer_)
+                    observer_->onDispatch(cpu, t, gc_active, now);
                 t.state = ThreadState::Running;
                 if (t.lastCpu >= 0 &&
                     t.lastCpu != static_cast<int>(cpu)) {

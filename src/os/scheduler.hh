@@ -22,6 +22,7 @@
 #include "exec/program.hh"
 #include "mem/trace_sink.hh"
 #include "os/modes.hh"
+#include "os/sched_observer.hh"
 #include "os/thread.hh"
 #include "sim/metrics.hh"
 #include "sim/ticks.hh"
@@ -111,6 +112,9 @@ class Scheduler
     /** Record migrations into a reference trace (nullptr detaches). */
     void setTraceSink(mem::TraceSink *sink) { traceSink_ = sink; }
 
+    /** Attach a dispatch-invariant observer (nullptr detaches). */
+    void setObserver(SchedObserver *obs) { observer_ = obs; }
+
     void resetAccounting();
 
   private:
@@ -138,6 +142,7 @@ class Scheduler
     sim::Counter fallbackMigrations_;
     sim::EventJournal *journal_ = nullptr;
     mem::TraceSink *traceSink_ = nullptr;
+    SchedObserver *observer_ = nullptr;
 };
 
 } // namespace middlesim::os

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/rng.hh"
 #include "sim/serialize.hh"
 
 using namespace middlesim;
@@ -229,6 +230,280 @@ TEST(Hash, IncrementalStepMatchesOneShot)
             h, std::string_view(data).substr(i, 7));
     EXPECT_EQ(h, whole);
     EXPECT_EQ(sim::fnv1a64Step(sim::fnv1a64Init, data), whole);
+}
+
+// ---------------------------------------------------------------------
+// Property-based round-trips: random operation sequences over many
+// seeds must decode to the written values, and re-encoding the decoded
+// values must reproduce the original bytes exactly.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** One randomly drawn serialize operation with its value. */
+struct Op
+{
+    enum Kind
+    {
+        U8,
+        U32,
+        U64,
+        F64,
+        VarU64,
+        VarI64,
+        Str,
+        VecU64,
+        VecF64,
+        kNumKinds,
+    };
+    Kind kind = U8;
+    std::uint64_t u = 0;
+    std::int64_t i = 0;
+    double f = 0.0;
+    std::string s;
+    std::vector<std::uint64_t> vu;
+    std::vector<double> vf;
+};
+
+/**
+ * A 64-bit value with a random effective width, so boundary-sized
+ * encodings (1-byte through 10-byte varints) all appear often.
+ */
+std::uint64_t
+randomWidthValue(sim::Rng &rng)
+{
+    const unsigned bits = 1 + static_cast<unsigned>(rng.uniform(64));
+    return bits >= 64 ? rng.next() : rng.next() >> (64 - bits);
+}
+
+std::vector<Op>
+randomOps(sim::Rng &rng, unsigned count)
+{
+    std::vector<Op> ops(count);
+    for (Op &op : ops) {
+        op.kind = static_cast<Op::Kind>(rng.uniform(Op::kNumKinds));
+        switch (op.kind) {
+          case Op::U8:
+            op.u = rng.uniform(256);
+            break;
+          case Op::U32:
+            op.u = rng.next() & 0xffffffffu;
+            break;
+          case Op::U64:
+          case Op::VarU64:
+            op.u = randomWidthValue(rng);
+            break;
+          case Op::VarI64:
+            op.i = static_cast<std::int64_t>(randomWidthValue(rng));
+            if (rng.chance(0.5) &&
+                op.i != std::numeric_limits<std::int64_t>::min())
+                op.i = -op.i;
+            break;
+          case Op::F64:
+            op.f = (rng.real() - 0.5) * 1e12;
+            break;
+          case Op::Str: {
+            op.s.resize(rng.uniform(48));
+            for (char &c : op.s)
+                c = static_cast<char>(rng.uniform(256));
+            break;
+          }
+          case Op::VecU64: {
+            op.vu.resize(rng.uniform(12));
+            for (std::uint64_t &v : op.vu)
+                v = randomWidthValue(rng);
+            break;
+          }
+          case Op::VecF64: {
+            op.vf.resize(rng.uniform(12));
+            for (double &v : op.vf)
+                v = (rng.real() - 0.5) * 1e9;
+            break;
+          }
+          case Op::kNumKinds:
+            break;
+        }
+    }
+    return ops;
+}
+
+void
+writeOps(sim::ByteWriter &w, const std::vector<Op> &ops)
+{
+    for (const Op &op : ops) {
+        switch (op.kind) {
+          case Op::U8:
+            w.u8(static_cast<std::uint8_t>(op.u));
+            break;
+          case Op::U32:
+            w.u32(static_cast<std::uint32_t>(op.u));
+            break;
+          case Op::U64:
+            w.u64(op.u);
+            break;
+          case Op::F64:
+            w.f64(op.f);
+            break;
+          case Op::VarU64:
+            w.varU64(op.u);
+            break;
+          case Op::VarI64:
+            w.varI64(op.i);
+            break;
+          case Op::Str:
+            w.str(op.s);
+            break;
+          case Op::VecU64:
+            w.vecU64(op.vu);
+            break;
+          case Op::VecF64:
+            w.vecF64(op.vf);
+            break;
+          case Op::kNumKinds:
+            break;
+        }
+    }
+}
+
+/** Read ops back, checking every decoded value against `ops`. */
+std::vector<Op>
+readAndCheckOps(sim::ByteReader &r, const std::vector<Op> &ops)
+{
+    std::vector<Op> decoded = ops;
+    for (std::size_t n = 0; n < ops.size(); ++n) {
+        Op &op = decoded[n];
+        SCOPED_TRACE("op " + std::to_string(n));
+        switch (op.kind) {
+          case Op::U8:
+            op.u = r.u8();
+            EXPECT_EQ(op.u, ops[n].u);
+            break;
+          case Op::U32:
+            op.u = r.u32();
+            EXPECT_EQ(op.u, ops[n].u);
+            break;
+          case Op::U64:
+            op.u = r.u64();
+            EXPECT_EQ(op.u, ops[n].u);
+            break;
+          case Op::F64:
+            op.f = r.f64();
+            EXPECT_EQ(op.f, ops[n].f);
+            break;
+          case Op::VarU64:
+            op.u = r.varU64();
+            EXPECT_EQ(op.u, ops[n].u);
+            break;
+          case Op::VarI64:
+            op.i = r.varI64();
+            EXPECT_EQ(op.i, ops[n].i);
+            break;
+          case Op::Str:
+            op.s = r.str();
+            EXPECT_EQ(op.s, ops[n].s);
+            break;
+          case Op::VecU64:
+            op.vu = r.vecU64();
+            EXPECT_EQ(op.vu, ops[n].vu);
+            break;
+          case Op::VecF64:
+            op.vf = r.vecF64();
+            EXPECT_EQ(op.vf, ops[n].vf);
+            break;
+          case Op::kNumKinds:
+            break;
+        }
+    }
+    return decoded;
+}
+
+} // namespace
+
+TEST(Property, RandomOpSequencesRoundTripByteIdentically)
+{
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+        const std::vector<Op> ops =
+            randomOps(rng, 1 + static_cast<unsigned>(rng.uniform(64)));
+
+        sim::ByteWriter w;
+        writeOps(w, ops);
+        const std::string first = w.data();
+
+        sim::ByteReader r(first);
+        const std::vector<Op> decoded = readAndCheckOps(r, ops);
+        EXPECT_TRUE(r.ok()) << "seed " << seed;
+        EXPECT_TRUE(r.atEnd()) << "seed " << seed;
+
+        // Write -> read -> write: the second encoding must be
+        // byte-identical to the first (no canonicalization drift).
+        sim::ByteWriter w2;
+        writeOps(w2, decoded);
+        EXPECT_EQ(w2.data(), first) << "seed " << seed;
+    }
+}
+
+TEST(Property, VarintPowerOfTwoNeighborhoodsRoundTrip)
+{
+    // Every value adjacent to a power of two — where the encoded
+    // length changes — must round-trip and re-encode identically.
+    for (unsigned k = 0; k < 64; ++k) {
+        const std::uint64_t p = 1ULL << k;
+        for (std::uint64_t v : {p - 1, p, p + 1}) {
+            sim::ByteWriter w;
+            w.varU64(v);
+            sim::ByteReader r(w.data());
+            EXPECT_EQ(r.varU64(), v) << "k=" << k;
+            EXPECT_TRUE(r.atEnd());
+
+            const std::int64_t s = static_cast<std::int64_t>(v);
+            const std::int64_t neg =
+                s == std::numeric_limits<std::int64_t>::min() ? s
+                                                              : -s;
+            for (std::int64_t sv : {s, neg}) {
+                sim::ByteWriter ws;
+                ws.varI64(sv);
+                sim::ByteReader rs(ws.data());
+                EXPECT_EQ(rs.varI64(), sv) << "k=" << k;
+                EXPECT_TRUE(rs.atEnd());
+            }
+        }
+    }
+}
+
+TEST(Property, RandomStreamsRejectSingleByteTruncation)
+{
+    // Chopping the final byte off any random stream must be detected
+    // by the read sequence (truncation mid-value) or by atEnd().
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        sim::Rng rng(seed * 0xd1b54a32d192ed03ULL);
+        const std::vector<Op> ops =
+            randomOps(rng, 1 + static_cast<unsigned>(rng.uniform(32)));
+        sim::ByteWriter w;
+        writeOps(w, ops);
+        const std::string full = w.data();
+        if (full.empty())
+            continue;
+
+        sim::ByteReader r(
+            std::string_view(full).substr(0, full.size() - 1));
+        for (const Op &op : ops) {
+            switch (op.kind) {
+              case Op::U8:      r.u8(); break;
+              case Op::U32:     r.u32(); break;
+              case Op::U64:     r.u64(); break;
+              case Op::F64:     r.f64(); break;
+              case Op::VarU64:  r.varU64(); break;
+              case Op::VarI64:  r.varI64(); break;
+              case Op::Str:     r.str(); break;
+              case Op::VecU64:  r.vecU64(); break;
+              case Op::VecF64:  r.vecF64(); break;
+              case Op::kNumKinds: break;
+            }
+        }
+        EXPECT_FALSE(r.ok() && r.atEnd()) << "seed " << seed;
+    }
 }
 
 TEST(Zigzag, MappingIsOrderPreservingOnMagnitude)

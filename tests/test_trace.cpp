@@ -29,6 +29,7 @@
 #include "core/trace_run.hh"
 #include "mem/trace_sink.hh"
 #include "sim/log.hh"
+#include "sim/rng.hh"
 #include "sim/threadpool.hh"
 #include "trace/reader.hh"
 #include "trace/replay.hh"
@@ -441,6 +442,47 @@ TEST(TraceReplay, SharedL2EcperfBitIdentical)
 TEST(TraceReplay, CommTrackingJbbBitIdentical)
 {
     expectReplayEquivalent(commTrackingJbbSpec());
+}
+
+TEST(TraceReplay, FiftyRandomSmallGeometriesBitIdentical)
+{
+    // Differential check at breadth: 50 seeded random small
+    // geometries (CPU count, sharing degree, cache sizes and
+    // associativities, both workloads, communication tracking on and
+    // off). Execution-driven stats and trace-replay stats must agree
+    // bit for bit on every one.
+    static const unsigned cpuChoices[] = {1, 2, 4};
+    static const std::uint64_t l1Sizes[] = {4096, 8192, 16384};
+    static const unsigned l1Assoc[] = {1, 2, 4};
+    static const std::uint64_t l2Sizes[] = {65536, 131072, 262144};
+    static const unsigned l2Assoc[] = {1, 2, 4, 8};
+
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xd1ff);
+
+        core::ExperimentSpec spec;
+        spec.workload = rng.chance(0.5) ? core::WorkloadKind::SpecJbb
+                                        : core::WorkloadKind::Ecperf;
+        spec.totalCpus = cpuChoices[rng.uniform(3)];
+        spec.appCpus = spec.totalCpus;
+        spec.cpusPerL2 = spec.totalCpus == 4 && rng.chance(0.5)
+                             ? 2
+                             : (rng.chance(0.3) ? spec.totalCpus : 1);
+        spec.scale = 1 + static_cast<unsigned>(rng.uniform(3));
+        spec.seed = seed;
+        spec.warmup = 150'000;
+        spec.measure = 300'000;
+        spec.trackCommunication = rng.chance(0.25);
+        spec.sys.machine.l1i = {l1Sizes[rng.uniform(3)],
+                                l1Assoc[rng.uniform(3)], 64};
+        spec.sys.machine.l1d = {l1Sizes[rng.uniform(3)],
+                                l1Assoc[rng.uniform(3)], 64};
+        spec.sys.machine.l2 = {l2Sizes[rng.uniform(3)],
+                               l2Assoc[rng.uniform(4)], 64};
+
+        expectReplayEquivalent(spec);
+    }
 }
 
 TEST(TraceReplay, GeometryOverridesAnswerWhatIfQuestions)
