@@ -208,7 +208,7 @@ replayTraceHierarchy(std::string trace_data,
 }
 
 SweepReplayOutcome
-replayTraceSweep(std::string trace_data)
+replayTraceSweep(std::string trace_data, mem::SweepEngine engine)
 {
     SweepReplayOutcome out;
     trace::TraceReader reader(std::move(trace_data));
@@ -217,7 +217,9 @@ replayTraceSweep(std::string trace_data)
         return out;
     }
     out.header = reader.header();
-    mem::SweepSimulator sweep{mem::SweepSimulator::paperSweep()};
+    mem::SweepSimulator sweep{mem::SweepSimulator::paperSweep(),
+                              engine};
+    out.engine = sweep.engineName();
     out.counts = trace::replayTrace(reader, nullptr, &sweep);
     if (!reader.complete()) {
         out.error = reader.error();
@@ -228,6 +230,74 @@ replayTraceSweep(std::string trace_data)
     out.instructions = sweep.instructions();
     out.valid = true;
     return out;
+}
+
+SweepReplayOutcome
+replayTraceSweepPerConfig(const std::string &trace_data)
+{
+    SweepReplayOutcome out;
+    out.engine = "per-config-replay";
+    const std::vector<sim::CacheParams> configs =
+        mem::SweepSimulator::paperSweep();
+    for (const sim::CacheParams &params : configs) {
+        trace::TraceReader reader(trace_data);
+        if (!reader.ok()) {
+            out.error = reader.error();
+            return out;
+        }
+        out.header = reader.header();
+        mem::SweepSimulator sweep{{params}, mem::SweepEngine::Legacy};
+        out.counts = trace::replayTrace(reader, nullptr, &sweep);
+        if (!reader.complete()) {
+            out.error = reader.error();
+            return out;
+        }
+        out.icache.push_back(sweep.icacheResults().front());
+        out.dcache.push_back(sweep.dcacheResults().front());
+        out.instructions = sweep.instructions();
+    }
+    out.valid = true;
+    return out;
+}
+
+std::vector<HierarchyReplayOutcome>
+replayTraceSharing(std::string trace_data,
+                   const std::vector<unsigned> &degrees)
+{
+    std::vector<HierarchyReplayOutcome> outs(degrees.size());
+    trace::TraceReader reader(std::move(trace_data));
+    if (!reader.ok()) {
+        for (HierarchyReplayOutcome &out : outs)
+            out.error = reader.error();
+        return outs;
+    }
+
+    std::vector<std::unique_ptr<mem::Hierarchy>> hierarchies;
+    std::vector<mem::Hierarchy *> raw;
+    hierarchies.reserve(degrees.size());
+    raw.reserve(degrees.size());
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+        outs[i].header = reader.header();
+        hierarchies.push_back(trace::hierarchyFor(
+            reader.header(), trace::ReplayOverrides{0, degrees[i]}));
+        raw.push_back(hierarchies.back().get());
+    }
+
+    const trace::ReplayCounts counts =
+        trace::replayTraceFanout(reader, raw, nullptr);
+    if (!reader.complete()) {
+        for (HierarchyReplayOutcome &out : outs)
+            out.error = reader.error();
+        return outs;
+    }
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+        outs[i].counts = counts;
+        const sim::MachineConfig &m = hierarchies[i]->config();
+        collectHierarchyState(*hierarchies[i], m.totalCpus,
+                              outs[i].header.appCpus, outs[i]);
+        outs[i].valid = true;
+    }
+    return outs;
 }
 
 } // namespace middlesim::core

@@ -132,9 +132,40 @@ struct SweepReplayOutcome
     std::vector<mem::SweepResult> icache;
     std::vector<mem::SweepResult> dcache;
     std::uint64_t instructions = 0;
+    /** Name of the sweep engine that produced the counts. */
+    std::string engine;
 };
 
-SweepReplayOutcome replayTraceSweep(std::string trace_data);
+/**
+ * One decode of the trace through a SweepSimulator covering every
+ * paper-sweep geometry. The default engine (Auto) resolves to the
+ * single-pass stack-distance engine for the paper sweep; results are
+ * bit-identical across engines.
+ */
+SweepReplayOutcome
+replayTraceSweep(std::string trace_data,
+                 mem::SweepEngine engine = mem::SweepEngine::Auto);
+
+/**
+ * Benchmarking baseline: replay the trace once per paper-sweep
+ * geometry, each pass decoding the whole stream into a single-config
+ * legacy SweepSimulator, then merge the per-config results. Same
+ * numbers as replayTraceSweep at N-times the decode and walk cost —
+ * this is the "per-size replay" column of BENCH_sweep.json.
+ */
+SweepReplayOutcome
+replayTraceSweepPerConfig(const std::string &trace_data);
+
+/**
+ * Figure 16 sharing study from one SMP recording: build one hierarchy
+ * per sharing degree (cpusPerL2 override) and feed all of them from a
+ * single decode of the trace (trace::replayTraceFanout). Outcome i is
+ * bit-identical to replayTraceHierarchy(trace, {0, degrees[i]}).
+ * On a malformed trace, every outcome carries the same error.
+ */
+std::vector<HierarchyReplayOutcome>
+replayTraceSharing(std::string trace_data,
+                   const std::vector<unsigned> &degrees);
 
 } // namespace middlesim::core
 

@@ -30,8 +30,10 @@ usage()
         "         --total-cpus=N --cpus-per-l2=N --scale=N --seed=N\n"
         "         --warmup=T --measure=T --track-comm]\n"
         "  replay FILE [--l2-kb=N --cpus-per-l2=N]\n"
-        "  sweep FILE                 Figure 12/13 cache sweep\n"
-        "  sharing FILE               Figure 16 shared-L2 what-if\n");
+        "  sweep FILE [--mode=auto|legacy|single-pass|per-config]\n"
+        "                             Figure 12/13 cache sweep\n"
+        "  sharing FILE [--mode=single-pass|per-degree]\n"
+        "                             Figure 16 shared-L2 what-if\n");
     return 1;
 }
 
@@ -266,11 +268,35 @@ cmdReplay(const std::string &path,
 }
 
 int
-cmdSweep(const std::string &path)
+cmdSweep(const std::string &path,
+         const std::vector<std::string> &flags)
 {
-    SweepReplayOutcome out = replayTraceSweep(loadTrace(path));
+    // Mode only selects how the counts are computed; stdout is
+    // byte-identical across modes (mode info goes to stderr) so the
+    // equivalence harness can diff the outputs directly.
+    std::string mode = "auto";
+    for (const std::string &arg : flags) {
+        if (arg.rfind("--mode=", 0) == 0)
+            mode = arg.substr(7);
+        else
+            fatal("middlesim-trace: unknown sweep flag '", arg, "'");
+    }
+    SweepReplayOutcome out;
+    if (mode == "auto")
+        out = replayTraceSweep(loadTrace(path));
+    else if (mode == "legacy")
+        out = replayTraceSweep(loadTrace(path),
+                               mem::SweepEngine::Legacy);
+    else if (mode == "single-pass")
+        out = replayTraceSweep(loadTrace(path),
+                               mem::SweepEngine::SinglePass);
+    else if (mode == "per-config")
+        out = replayTraceSweepPerConfig(loadTrace(path));
+    else
+        fatal("middlesim-trace: unknown sweep mode '", mode, "'");
     if (!out.valid)
         fatal("middlesim-trace: '", path, "': ", out.error);
+    std::fprintf(stderr, "sweep engine: %s\n", out.engine.c_str());
     std::printf("replayed %llu refs (%s), %llu instructions\n",
                 static_cast<unsigned long long>(out.counts.refs),
                 out.header.label.c_str(),
@@ -287,31 +313,66 @@ cmdSweep(const std::string &path)
     return 0;
 }
 
-int
-cmdSharing(const std::string &path)
+void
+printSharingRow(unsigned share, const HierarchyReplayOutcome &out,
+                const std::string &path)
 {
+    if (!out.valid)
+        fatal("middlesim-trace: '", path, "': ", out.error);
+    const mem::CacheStats &s = out.aggregate;
+    std::printf("%8u %12llu %12llu %12llu %12llu\n", share,
+                static_cast<unsigned long long>(s.l2Misses()),
+                static_cast<unsigned long long>(s.missCoherence),
+                static_cast<unsigned long long>(s.missCapacity),
+                static_cast<unsigned long long>(s.c2cTransfers));
+}
+
+int
+cmdSharing(const std::string &path,
+           const std::vector<std::string> &flags)
+{
+    // Default: single-pass fan-out (one decode, all degrees).
+    // --mode=per-degree replays the stream once per degree; the two
+    // modes print byte-identical stdout (mode info on stderr).
+    std::string mode = "single-pass";
+    for (const std::string &arg : flags) {
+        if (arg.rfind("--mode=", 0) == 0)
+            mode = arg.substr(7);
+        else
+            fatal("middlesim-trace: unknown sharing flag '", arg, "'");
+    }
+    if (mode != "single-pass" && mode != "per-degree")
+        fatal("middlesim-trace: unknown sharing mode '", mode, "'");
+
     const std::string data = loadTrace(path);
     trace::TraceReader probe{std::string(data)};
     if (!probe.ok())
         fatal("middlesim-trace: '", path, "': ", probe.error());
     const unsigned total = probe.header().totalCpus;
+    std::vector<unsigned> degrees;
+    for (unsigned share = 1; share <= total; share *= 2) {
+        if (total % share == 0)
+            degrees.push_back(share);
+    }
+
+    std::fprintf(stderr, "sharing mode: %s (%zu degrees)\n",
+                 mode.c_str(), degrees.size());
     std::printf("%8s %12s %12s %12s %12s\n", "cpusPerL2", "misses",
                 "coherence", "capacity", "c2c");
-    for (unsigned share = 1; share <= total; share *= 2) {
-        if (total % share != 0)
-            continue;
-        trace::ReplayOverrides overrides;
-        overrides.cpusPerL2 = share;
-        HierarchyReplayOutcome out =
-            replayTraceHierarchy(std::string(data), overrides);
-        if (!out.valid)
-            fatal("middlesim-trace: '", path, "': ", out.error);
-        const mem::CacheStats &s = out.aggregate;
-        std::printf("%8u %12llu %12llu %12llu %12llu\n", share,
-                    static_cast<unsigned long long>(s.l2Misses()),
-                    static_cast<unsigned long long>(s.missCoherence),
-                    static_cast<unsigned long long>(s.missCapacity),
-                    static_cast<unsigned long long>(s.c2cTransfers));
+    if (mode == "single-pass") {
+        const std::vector<HierarchyReplayOutcome> outs =
+            replayTraceSharing(std::string(data), degrees);
+        for (std::size_t i = 0; i < degrees.size(); ++i)
+            printSharingRow(degrees[i], outs[i], path);
+    } else {
+        for (unsigned share : degrees) {
+            trace::ReplayOverrides overrides;
+            overrides.cpusPerL2 = share;
+            printSharingRow(
+                share,
+                replayTraceHierarchy(std::string(data), overrides),
+                path);
+        }
     }
     return 0;
 }
@@ -352,10 +413,10 @@ traceToolMain(int argc, char **argv)
     }
     if (cmd == "replay")
         return cmdReplay(path, rest);
-    if (cmd == "sweep" && rest.empty())
-        return cmdSweep(path);
-    if (cmd == "sharing" && rest.empty())
-        return cmdSharing(path);
+    if (cmd == "sweep")
+        return cmdSweep(path, rest);
+    if (cmd == "sharing")
+        return cmdSharing(path, rest);
     return usage();
 }
 

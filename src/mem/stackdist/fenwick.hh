@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fenwick (binary indexed) tree over time slots — the interval-counting
+ * primitive of the reuse-distance tracker.
+ *
+ * The tracker marks one slot per currently-tracked block (the slot of
+ * its most recent access). A reuse distance is then "how many marked
+ * slots lie after this block's previous slot", a prefix-sum difference
+ * answered in O(log n). Point updates are O(log n) as well, which is
+ * what makes one pass over the reference stream cheaper than walking
+ * an explicit LRU stack (O(stack depth) per access).
+ */
+
+#ifndef MEM_STACKDIST_FENWICK_HH
+#define MEM_STACKDIST_FENWICK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace middlesim::mem::stackdist
+{
+
+/** Fenwick tree of 32-bit counters with 0-based external indexing. */
+class Fenwick
+{
+  public:
+    explicit Fenwick(std::size_t size = 0) : tree_(size + 1, 0) {}
+
+    std::size_t size() const { return tree_.size() - 1; }
+
+    /** Add `delta` at position `i` (0-based). */
+    void
+    add(std::size_t i, std::int32_t delta)
+    {
+        sim_assert(i < size(), "fenwick index out of range");
+        for (std::size_t k = i + 1; k < tree_.size(); k += k & (0 - k))
+            tree_[k] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(tree_[k]) + delta);
+    }
+
+    /** Sum of positions [0, i] (0-based, inclusive). */
+    std::uint64_t
+    prefix(std::size_t i) const
+    {
+        sim_assert(i < size(), "fenwick index out of range");
+        std::uint64_t sum = 0;
+        for (std::size_t k = i + 1; k > 0; k -= k & (0 - k))
+            sum += tree_[k];
+        return sum;
+    }
+
+    /** Reset every counter to zero, keeping the capacity. */
+    void
+    clear()
+    {
+        tree_.assign(tree_.size(), 0);
+    }
+
+    /** Discard contents and resize to `size` positions. */
+    void
+    reset(std::size_t size)
+    {
+        tree_.assign(size + 1, 0);
+    }
+
+  private:
+    /** tree_[0] unused; internal indices are 1-based. */
+    std::vector<std::uint32_t> tree_;
+};
+
+} // namespace middlesim::mem::stackdist
+
+#endif // MEM_STACKDIST_FENWICK_HH

@@ -1,0 +1,155 @@
+#include "mem/stackdist/reuse.hh"
+
+#include <algorithm>
+
+namespace middlesim::mem::stackdist
+{
+
+namespace
+{
+
+unsigned
+log2Floor(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Initial slot-space size; doubled/compacted on demand. */
+constexpr std::size_t kInitialSlots = 1 << 16;
+
+} // namespace
+
+ReuseDistanceTracker::ReuseDistanceTracker(
+    const std::vector<std::uint64_t> &capacities, unsigned blockBytes)
+    : blockShift_(log2Floor(blockBytes)), marked_(kInitialSlots)
+{
+    sim_assert(blockBytes != 0 && (blockBytes & (blockBytes - 1)) == 0,
+               "reuse tracker: block size must be a power of two");
+    sortedCaps_ = capacities;
+    std::sort(sortedCaps_.begin(), sortedCaps_.end());
+    sortedCaps_.erase(
+        std::unique(sortedCaps_.begin(), sortedCaps_.end()),
+        sortedCaps_.end());
+    cfgBucket_.reserve(capacities.size());
+    for (std::uint64_t cap : capacities) {
+        sim_assert(cap > 0, "reuse tracker: zero capacity");
+        cfgBucket_.push_back(static_cast<std::size_t>(
+            std::lower_bound(sortedCaps_.begin(), sortedCaps_.end(),
+                             cap) -
+            sortedCaps_.begin()));
+    }
+    critHist_.assign(sortedCaps_.size() + 1, 0);
+    distHist_.assign(64, 0);
+}
+
+void
+ReuseDistanceTracker::compact(std::size_t capacity)
+{
+    // Renumber live blocks in recency order: relative order of slots
+    // is preserved, so every future distance query is unaffected.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> bySlot;
+    bySlot.reserve(lastSlot_.size());
+    for (const auto &[block, slot] : lastSlot_)
+        bySlot.emplace_back(slot, block);
+    std::sort(bySlot.begin(), bySlot.end());
+    marked_.reset(capacity);
+    nextSlot_ = 0;
+    for (auto &[slot, block] : bySlot) {
+        lastSlot_[block] = nextSlot_;
+        marked_.add(nextSlot_, 1);
+        ++nextSlot_;
+    }
+}
+
+std::uint64_t
+ReuseDistanceTracker::touchAndDistance(std::uint64_t block)
+{
+    if (nextSlot_ == marked_.size()) {
+        // Full: if at least half the slots are dead, renumbering into
+        // the same capacity suffices; otherwise grow. Either way the
+        // cost is O(live log live), amortized against the accesses
+        // that consumed the slots.
+        const std::size_t live = lastSlot_.size();
+        compact(std::max<std::size_t>(kInitialSlots, live * 2));
+    }
+    const std::uint64_t now = nextSlot_++;
+    auto [it, inserted] = lastSlot_.try_emplace(block, now);
+    if (inserted) {
+        marked_.add(now, 1);
+        return kColdDistance;
+    }
+    const std::uint64_t prev = it->second;
+    // Marked slots strictly after prev = distinct blocks referenced
+    // since this block's previous reference (prev itself is marked).
+    const std::uint64_t distance =
+        lastSlot_.size() - marked_.prefix(prev);
+    marked_.add(prev, -1);
+    marked_.add(now, 1);
+    it->second = now;
+    return distance;
+}
+
+void
+ReuseDistanceTracker::access(Addr addr, bool count_miss)
+{
+    ++accesses_;
+    const std::uint64_t block = addr >> blockShift_;
+    if (block == lastBlock_) {
+        // Repeat of the previous block: distance 0, already MRU.
+        if (count_miss) {
+            ++critHist_[0];
+            ++distHist_[0];
+        }
+        return;
+    }
+    lastBlock_ = block;
+    const std::uint64_t distance = touchAndDistance(block);
+    if (!count_miss)
+        return;
+    if (distance == kColdDistance) {
+        ++critHist_.back();
+        return;
+    }
+    ++distHist_[distance == 0 ? 0 : log2Floor(distance) + 1];
+    // Smallest capacity C with distance < C: hit there and above.
+    const std::size_t crit = static_cast<std::size_t>(
+        std::upper_bound(sortedCaps_.begin(), sortedCaps_.end(),
+                         distance) -
+        sortedCaps_.begin());
+    ++critHist_[crit];
+}
+
+std::uint64_t
+ReuseDistanceTracker::misses(std::size_t i) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t k = cfgBucket_.at(i) + 1; k < critHist_.size();
+         ++k)
+        sum += critHist_[k];
+    return sum;
+}
+
+void
+ReuseDistanceTracker::resetCounters()
+{
+    accesses_ = 0;
+    critHist_.assign(critHist_.size(), 0);
+    distHist_.assign(distHist_.size(), 0);
+}
+
+void
+ReuseDistanceTracker::reset()
+{
+    resetCounters();
+    lastSlot_.clear();
+    marked_.reset(kInitialSlots);
+    nextSlot_ = 0;
+    lastBlock_ = kColdDistance;
+}
+
+} // namespace middlesim::mem::stackdist

@@ -1,0 +1,79 @@
+#include "mem/stackdist/sampled.hh"
+
+#include "sim/log.hh"
+
+namespace middlesim::mem::stackdist
+{
+
+SetSampledSweep::SetSampledSweep(
+    const std::vector<sim::CacheParams> &configs, unsigned sampleBits)
+{
+    sim_assert(!configs.empty(), "sampled sweep: no configurations");
+    const unsigned block = configs.front().blockBytes;
+    sim_assert(block != 0 && (block & (block - 1)) == 0,
+               "sampled sweep: block size must be a power of two");
+    unsigned shift = 0;
+    while ((1u << shift) < block)
+        ++shift;
+    blockShift_ = shift;
+    levels_.reserve(configs.size());
+    for (const sim::CacheParams &p : configs) {
+        sim_assert(p.blockBytes == block,
+                   "sampled sweep: mixed block sizes");
+        const std::uint64_t sets = p.numSets();
+        sim_assert(sets != 0 && (sets & (sets - 1)) == 0,
+                   "sampled sweep: set count must be a power of two");
+        Level level;
+        level.assoc = p.assoc;
+        level.setMask = sets - 1;
+        // Clamp so at least one set survives sampling.
+        unsigned bits = sampleBits;
+        while ((sets >> bits) == 0)
+            --bits;
+        level.sampleBits = bits;
+        level.sampleMask = (std::uint64_t{1} << bits) - 1;
+        level.ways.assign((sets >> bits) * p.assoc, kEmpty);
+        levels_.push_back(std::move(level));
+    }
+}
+
+void
+SetSampledSweep::access(Addr addr, bool count_miss)
+{
+    const std::uint64_t block = addr >> blockShift_;
+    for (Level &level : levels_) {
+        const std::uint64_t set = block & level.setMask;
+        if ((set & level.sampleMask) != 0)
+            continue; // not a sampled set for this geometry
+        ++level.accesses;
+        std::uint64_t *row = level.ways.data() +
+                             (set >> level.sampleBits) * level.assoc;
+        unsigned pos = level.assoc;
+        for (unsigned w = 0; w < level.assoc; ++w) {
+            if (row[w] == block) {
+                pos = w;
+                break;
+            }
+        }
+        if (pos == level.assoc) {
+            if (count_miss)
+                ++level.misses;
+            pos = level.assoc - 1;
+        }
+        for (unsigned w = pos; w > 0; --w)
+            row[w] = row[w - 1];
+        row[0] = block;
+    }
+}
+
+void
+SetSampledSweep::reset()
+{
+    for (Level &level : levels_) {
+        level.ways.assign(level.ways.size(), kEmpty);
+        level.accesses = 0;
+        level.misses = 0;
+    }
+}
+
+} // namespace middlesim::mem::stackdist

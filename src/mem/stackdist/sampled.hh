@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Set-sampled approximate sweep: simulate 1-in-2^k sets per geometry
+ * and scale the observed miss count.
+ *
+ * For geometries the exact engines cannot afford (very large
+ * associativities, very many configurations), classic set sampling
+ * simulates only the sets whose low index bits are zero and
+ * multiplies by the sampling factor. This is an *approximation*:
+ * accuracy depends on references spreading evenly over sets. It is
+ * therefore never auto-selected by SweepSimulator — callers opt in —
+ * and its tolerance is stated and enforced by test (relative error on
+ * clustered random streams bounded in tests/test_stackdist.cpp, with
+ * the bound re-checked nightly at depth).
+ */
+
+#ifndef MEM_STACKDIST_SAMPLED_HH
+#define MEM_STACKDIST_SAMPLED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memref.hh"
+#include "sim/config.hh"
+
+namespace middlesim::mem::stackdist
+{
+
+/** Approximate multi-geometry sweep over sampled sets. */
+class SetSampledSweep
+{
+  public:
+    /**
+     * Simulate only sets with `sampleBits` zero low index bits
+     * (clamped per geometry so at least one set is always sampled).
+     * Requires the same power-of-two block size and power-of-two set
+     * counts across `configs`.
+     */
+    SetSampledSweep(const std::vector<sim::CacheParams> &configs,
+                    unsigned sampleBits);
+
+    void access(Addr addr, bool count_miss);
+
+    /** References that fell into configuration i's sampled sets. */
+    std::uint64_t
+    sampledAccesses(std::size_t i) const
+    {
+        return levels_.at(i).accesses;
+    }
+
+    /** Raw miss count observed in the sampled sets. */
+    std::uint64_t
+    sampledMisses(std::size_t i) const
+    {
+        return levels_.at(i).misses;
+    }
+
+    /** Scaled estimate of the full-cache miss count. */
+    std::uint64_t
+    estimatedMisses(std::size_t i) const
+    {
+        return levels_.at(i).misses << levels_.at(i).sampleBits;
+    }
+
+    /** Sampling factor actually used for configuration i. */
+    std::uint64_t
+    sampleFactor(std::size_t i) const
+    {
+        return std::uint64_t{1} << levels_.at(i).sampleBits;
+    }
+
+    void reset();
+
+  private:
+    struct Level
+    {
+        std::uint64_t setMask;
+        std::uint64_t sampleMask;
+        unsigned sampleBits;
+        unsigned assoc;
+        /** Recency rows for the sampled sets only. */
+        std::vector<std::uint64_t> ways;
+        std::uint64_t accesses = 0;
+        std::uint64_t misses = 0;
+    };
+
+    static constexpr std::uint64_t kEmpty =
+        ~static_cast<std::uint64_t>(0);
+
+    unsigned blockShift_;
+    std::vector<Level> levels_;
+};
+
+} // namespace middlesim::mem::stackdist
+
+#endif // MEM_STACKDIST_SAMPLED_HH

@@ -27,18 +27,67 @@ isInclusionChain(const std::vector<sim::CacheParams> &configs)
     return true;
 }
 
+/** All geometries fully associative with one common block size. */
+bool
+isFullyAssociativeLadder(const std::vector<sim::CacheParams> &configs)
+{
+    if (configs.empty())
+        return false;
+    const unsigned block = configs.front().blockBytes;
+    if (block == 0 || (block & (block - 1)) != 0)
+        return false;
+    for (const sim::CacheParams &p : configs) {
+        if (p.blockBytes != block || p.numSets() != 1)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
-SweepSimulator::SweepSimulator(const std::vector<sim::CacheParams> &configs)
+SweepSimulator::SweepSimulator(
+    const std::vector<sim::CacheParams> &configs, SweepEngine engine)
     : inclusionChain_(isInclusionChain(configs))
 {
+    if (engine != SweepEngine::Legacy) {
+        // The fully-associative check comes first: such ladders also
+        // pass the refinement check when the associativity is small,
+        // but the O(log n) tracker scales to any capacity.
+        if (isFullyAssociativeLadder(configs))
+            resolved_ = Resolved::ReuseStack;
+        else if (stackdist::RefinementSweep::suitable(configs))
+            resolved_ = Resolved::Refinement;
+        else if (engine == SweepEngine::SinglePass)
+            fatal("sweep: configurations admit no single-pass engine "
+                  "(need one power-of-two block size and power-of-two "
+                  "set counts)");
+    }
+
     for (Bank *bank : {&ibank_, &dbank_}) {
-        bank->caches.reserve(configs.size());
-        for (const auto &params : configs) {
-            bank->caches.emplace_back(params);
+        for (const auto &params : configs)
             bank->results.push_back({params, 0, 0});
+        switch (resolved_) {
+          case Resolved::Refinement:
+            bank->refine =
+                std::make_unique<stackdist::RefinementSweep>(configs);
+            break;
+          case Resolved::ReuseStack: {
+            std::vector<std::uint64_t> capacities;
+            capacities.reserve(configs.size());
+            for (const auto &params : configs)
+                capacities.push_back(params.numBlocks());
+            bank->reuse =
+                std::make_unique<stackdist::ReuseDistanceTracker>(
+                    capacities, configs.front().blockBytes);
+            break;
+          }
+          case Resolved::Legacy:
+            bank->caches.reserve(configs.size());
+            for (const auto &params : configs)
+                bank->caches.emplace_back(params);
+            bank->lastLines.assign(configs.size(), nullptr);
+            break;
         }
-        bank->lastLines.assign(configs.size(), nullptr);
     }
 }
 
@@ -51,9 +100,48 @@ SweepSimulator::paperSweep()
     return configs;
 }
 
+const char *
+SweepSimulator::engineName() const
+{
+    switch (resolved_) {
+      case Resolved::Refinement:
+        return "stackdist-refinement";
+      case Resolved::ReuseStack:
+        return "stackdist-reuse";
+      case Resolved::Legacy:
+        break;
+    }
+    return "legacy-walk";
+}
+
+const std::vector<std::uint64_t> *
+SweepSimulator::icriticalHistogram() const
+{
+    return inclusionChain_ && ibank_.refine
+        ? &ibank_.refine->criticalHistogram()
+        : nullptr;
+}
+
+const std::vector<std::uint64_t> *
+SweepSimulator::dcriticalHistogram() const
+{
+    return inclusionChain_ && dbank_.refine
+        ? &dbank_.refine->criticalHistogram()
+        : nullptr;
+}
+
 void
 SweepSimulator::accessBank(Bank &bank, Addr addr, bool count_misses)
 {
+    if (bank.refine) {
+        bank.refine->access(addr, count_misses);
+        return;
+    }
+    if (bank.reuse) {
+        bank.reuse->access(addr, count_misses);
+        return;
+    }
+
     ++bank.accesses;
     const std::size_t n = bank.caches.size();
 
@@ -126,8 +214,20 @@ SweepSimulator::access(const MemRef &ref)
 const std::vector<SweepResult> &
 SweepSimulator::syncedResults(const Bank &bank) const
 {
-    for (auto &r : bank.results)
-        r.accesses = bank.accesses;
+    if (bank.refine) {
+        for (std::size_t i = 0; i < bank.results.size(); ++i) {
+            bank.results[i].accesses = bank.refine->accesses();
+            bank.results[i].misses = bank.refine->misses(i);
+        }
+    } else if (bank.reuse) {
+        for (std::size_t i = 0; i < bank.results.size(); ++i) {
+            bank.results[i].accesses = bank.reuse->accesses();
+            bank.results[i].misses = bank.reuse->misses(i);
+        }
+    } else {
+        for (auto &r : bank.results)
+            r.accesses = bank.accesses;
+    }
     return bank.results;
 }
 
@@ -158,10 +258,19 @@ SweepSimulator::dmissPer1000(std::size_t i) const
 void
 SweepSimulator::resetCounters()
 {
+    // Cache contents survive a counter reset (the warmup boundary),
+    // and so does the repeated-block memo in every engine: the
+    // memoized block is still resident and still MRU, so a
+    // post-reset repeat is correctly scored as a hit (regression
+    // tested in tests/test_sweep.cpp).
     for (Bank *bank : {&ibank_, &dbank_}) {
         for (auto &r : bank->results)
             r = {r.params, 0, 0};
         bank->accesses = 0;
+        if (bank->refine)
+            bank->refine->resetCounters();
+        if (bank->reuse)
+            bank->reuse->resetCounters();
     }
     instructions_ = 0;
 }
@@ -177,6 +286,10 @@ SweepSimulator::reset()
         bank->accesses = 0;
         bank->lastBlock = kNoBlock;
         bank->lastLines.assign(bank->caches.size(), nullptr);
+        if (bank->refine)
+            bank->refine->reset();
+        if (bank->reuse)
+            bank->reuse->reset();
     }
     instructions_ = 0;
 }

@@ -14,27 +14,38 @@
  * processor) and stores allocate (write-back, write-allocate), which
  * is the conventional configuration for miss-ratio sweeps.
  *
- * Fast path: when the configurations form an inclusion chain — same
- * block size, same associativity, set counts that successively divide
- * each other (the paper sweep does: sizes double) — LRU set-refinement
- * inclusion guarantees that a hit in a smaller cache is a hit in every
- * larger one. The per-reference walk therefore goes smallest to
- * largest and, after the first hit, only updates LRU clocks in the
- * remaining caches; and because every access leaves a line pointer per
- * configuration behind, a repeated reference to the same block (very
- * common in instruction streams) skips tag search entirely. Miss
- * counts are bit-identical to the naive per-configuration walk (see
- * tests/test_sweep.cpp).
+ * Engines (selected automatically, or forced via SweepEngine):
+ *
+ *  - Single-pass stack-distance (src/mem/stackdist/): the default
+ *    whenever the geometries admit it. Set-associative ladders (the
+ *    paper sweep, and any power-of-two geometry list sharing a block
+ *    size) use the exact set-refinement engine — per-set recency rows
+ *    updated once per reference, every geometry at once, with a
+ *    critical-level histogram when the configurations form an
+ *    inclusion chain. Fully-associative ladders use the exact
+ *    O(log n) Fenwick-tree reuse-distance tracker. Miss and access
+ *    counts are bit-identical to the legacy walk (enforced in
+ *    tests/test_sweep.cpp and tests/test_stackdist.cpp).
+ *
+ *  - Legacy per-configuration walk: one CacheArray per geometry, with
+ *    an LRU-inclusion fast path for chains (hit below implies hit
+ *    above; a repeated block skips tag search via a memo). Retained
+ *    for geometries the single-pass engines cannot represent and as
+ *    the reference implementation the stack-distance results are
+ *    validated against.
  */
 
 #ifndef MEM_SWEEP_HH
 #define MEM_SWEEP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mem/cache_array.hh"
 #include "mem/memref.hh"
+#include "mem/stackdist/refinement.hh"
+#include "mem/stackdist/reuse.hh"
 #include "sim/config.hh"
 
 namespace middlesim::mem
@@ -57,11 +68,23 @@ struct SweepResult
     }
 };
 
+/** Engine selection for SweepSimulator. */
+enum class SweepEngine
+{
+    /** Single-pass when the geometries admit it, else legacy. */
+    Auto,
+    /** Force the per-configuration CacheArray walk. */
+    Legacy,
+    /** Require a single-pass engine; fatal if none fits. */
+    SinglePass,
+};
+
 /** Bank of independent caches fed a common reference stream. */
 class SweepSimulator
 {
   public:
-    explicit SweepSimulator(const std::vector<sim::CacheParams> &configs);
+    explicit SweepSimulator(const std::vector<sim::CacheParams> &configs,
+                            SweepEngine engine = SweepEngine::Auto);
 
     /** The standard sweep of the paper: 64 KB..16 MB, 4-way, 64 B. */
     static std::vector<sim::CacheParams> paperSweep();
@@ -82,8 +105,28 @@ class SweepSimulator
     /** Misses per 1000 instructions for config i, data side. */
     double dmissPer1000(std::size_t i) const;
 
-    /** True when the inclusion fast path is active for these configs. */
+    /** True when the configs form an LRU set-refinement chain. */
     bool inclusionChain() const { return inclusionChain_; }
+
+    /** True when a single-pass stack-distance engine is active. */
+    bool
+    singlePass() const
+    {
+        return resolved_ != Resolved::Legacy;
+    }
+
+    /** Human-readable name of the active engine. */
+    const char *engineName() const;
+
+    /**
+     * Critical-level histograms of the instruction and data banks
+     * (countable references binned by the smallest configuration
+     * that hit; last bucket = missed everywhere). Only available
+     * from the set-refinement engine on an inclusion chain; nullptr
+     * otherwise.
+     */
+    const std::vector<std::uint64_t> *icriticalHistogram() const;
+    const std::vector<std::uint64_t> *dcriticalHistogram() const;
 
     /** Clear caches and counters. */
     void reset();
@@ -92,17 +135,31 @@ class SweepSimulator
     void resetCounters();
 
   private:
+    /** The engine the constructor settled on. */
+    enum class Resolved
+    {
+        Legacy,
+        Refinement,
+        ReuseStack,
+    };
+
     /** One side (I or D) of the split sweep. */
     struct Bank
     {
+        // Legacy walk state.
         std::vector<CacheArray> caches; // smallest to largest
-        /** Per-config miss counts; accesses synced lazily. */
-        mutable std::vector<SweepResult> results;
         /** Accesses are identical across configs: one counter. */
         std::uint64_t accesses = 0;
         /** Memo of the previous reference's block and lines. */
         Addr lastBlock = kNoBlock;
         std::vector<CacheLine *> lastLines;
+
+        // Single-pass engines (at most one non-null).
+        std::unique_ptr<stackdist::RefinementSweep> refine;
+        std::unique_ptr<stackdist::ReuseDistanceTracker> reuse;
+
+        /** Per-config results; counters synced lazily. */
+        mutable std::vector<SweepResult> results;
     };
 
     static constexpr Addr kNoBlock = ~static_cast<Addr>(0);
@@ -114,12 +171,13 @@ class SweepSimulator
      */
     void accessBank(Bank &bank, Addr addr, bool count_misses);
 
-    /** Sync the lazily-maintained access counters into results. */
+    /** Sync the lazily-maintained counters into results. */
     const std::vector<SweepResult> &syncedResults(const Bank &b) const;
 
     Bank ibank_;
     Bank dbank_;
     bool inclusionChain_ = false;
+    Resolved resolved_ = Resolved::Legacy;
     std::uint64_t instructions_ = 0;
 };
 

@@ -23,8 +23,9 @@ hierarchyFor(const TraceHeader &header, const ReplayOverrides &overrides)
 }
 
 ReplayCounts
-replayTrace(TraceReader &reader, mem::Hierarchy *hierarchy,
-            mem::SweepSimulator *sweep)
+replayTraceFanout(TraceReader &reader,
+                  const std::vector<mem::Hierarchy *> &hierarchies,
+                  mem::SweepSimulator *sweep)
 {
     ReplayCounts counts;
     TraceRecord rec;
@@ -32,7 +33,7 @@ replayTrace(TraceReader &reader, mem::Hierarchy *hierarchy,
         counts.lastTick = rec.tick;
         if (rec.isRef) {
             ++counts.refs;
-            if (hierarchy)
+            for (mem::Hierarchy *hierarchy : hierarchies)
                 hierarchy->access(rec.ref, rec.tick);
             if (sweep)
                 sweep->access(rec.ref);
@@ -49,21 +50,21 @@ replayTrace(TraceReader &reader, mem::Hierarchy *hierarchy,
             // adjacent to beginMeasurement()'s hierarchy stat reset
             // (no references in between), so one annotation serves
             // both frontends.
-            if (hierarchy)
+            for (mem::Hierarchy *hierarchy : hierarchies)
                 hierarchy->resetStats();
             if (sweep)
                 sweep->resetCounters();
             break;
           case mem::TraceAnnotation::RegionStatsReset:
-            if (hierarchy)
+            for (mem::Hierarchy *hierarchy : hierarchies)
                 hierarchy->resetRegionStats();
             break;
           case mem::TraceAnnotation::CommTrackReset:
-            if (hierarchy)
+            for (mem::Hierarchy *hierarchy : hierarchies)
                 hierarchy->resetCommunicationTracking();
             break;
           case mem::TraceAnnotation::InvalidateAll:
-            if (hierarchy)
+            for (mem::Hierarchy *hierarchy : hierarchies)
                 hierarchy->invalidateAll();
             break;
           case mem::TraceAnnotation::Instructions:
@@ -79,6 +80,16 @@ replayTrace(TraceReader &reader, mem::Hierarchy *hierarchy,
         }
     }
     return counts;
+}
+
+ReplayCounts
+replayTrace(TraceReader &reader, mem::Hierarchy *hierarchy,
+            mem::SweepSimulator *sweep)
+{
+    std::vector<mem::Hierarchy *> hierarchies;
+    if (hierarchy)
+        hierarchies.push_back(hierarchy);
+    return replayTraceFanout(reader, hierarchies, sweep);
 }
 
 } // namespace middlesim::trace

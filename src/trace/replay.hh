@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "mem/hierarchy.hh"
 #include "mem/sweep.hh"
@@ -71,6 +72,20 @@ hierarchyFor(const TraceHeader &header,
  */
 ReplayCounts replayTrace(TraceReader &reader, mem::Hierarchy *hierarchy,
                          mem::SweepSimulator *sweep);
+
+/**
+ * Single-pass fan-out replay: decode the stream once and feed every
+ * record to each hierarchy (and the sweep, when non-null). Each
+ * hierarchy evolves exactly as it would under its own replayTrace()
+ * pass — the frontends never interact — so per-hierarchy state is
+ * bit-identical to N separate replays at one decode cost. This is
+ * what makes the Figure 16 sharing-degree study single-pass: one SMP
+ * recording, one decode, every sharing degree at once.
+ */
+ReplayCounts
+replayTraceFanout(TraceReader &reader,
+                  const std::vector<mem::Hierarchy *> &hierarchies,
+                  mem::SweepSimulator *sweep = nullptr);
 
 } // namespace middlesim::trace
 

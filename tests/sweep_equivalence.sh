@@ -1,0 +1,70 @@
+#!/bin/bash
+# Sweep-path equivalence harness: record a small trace, then require
+# byte-identical stdout from `middlesim-trace sweep` across every
+# engine mode (auto-selected single-pass, forced single-pass, forced
+# legacy walk, per-configuration replay) and from `middlesim-trace
+# sharing` across single-pass fan-out and per-degree replay. The
+# paper sweep is an inclusion chain, so equivalence here is strict —
+# no tolerance. (The tolerance of the opt-in set-sampling
+# approximation is stated and enforced in tests/test_stackdist.cpp,
+# which CI runs separately.)
+#
+# Usage: sweep_equivalence.sh <build/bench dir>
+
+set -euo pipefail
+
+bindir=${1:?usage: sweep_equivalence.sh <bench dir>}
+tool="$bindir/middlesim-trace"
+[ -x "$tool" ] || { echo "FAIL: missing binary: $tool" >&2; exit 1; }
+
+workdir=$(mktemp -d /tmp/middlesim_sweepeq.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+expect_identical() {
+    local a=$1 b=$2 what=$3
+    if ! cmp -s "$a" "$b"; then
+        diff -u "$a" "$b" | head -40 >&2 || true
+        fail "$what"
+    fi
+}
+
+echo "# record uniprocessor trace" >&2
+"$tool" record --out="$workdir/uni.mst" --workload=specjbb \
+    --app-cpus=1 --total-cpus=1 --scale=2 --seed=42 \
+    --warmup=1000000 --measure=2000000 > /dev/null 2>&1 ||
+    fail "record uniprocessor trace"
+
+echo "# sweep modes must print identical stdout" >&2
+for mode in auto single-pass legacy per-config; do
+    "$tool" sweep "$workdir/uni.mst" --mode=$mode \
+        > "$workdir/sweep.$mode" 2> "$workdir/sweep.$mode.err" ||
+        fail "sweep --mode=$mode"
+done
+grep -q "stackdist" "$workdir/sweep.auto.err" ||
+    fail "auto mode did not select a single-pass engine"
+grep -q "legacy-walk" "$workdir/sweep.legacy.err" ||
+    fail "legacy mode did not use the legacy walk"
+for mode in single-pass legacy per-config; do
+    expect_identical "$workdir/sweep.auto" "$workdir/sweep.$mode" \
+        "sweep output differs: auto vs $mode"
+done
+
+echo "# record SMP trace for the sharing study" >&2
+"$tool" record --out="$workdir/smp.mst" --workload=ecperf \
+    --app-cpus=2 --total-cpus=4 --cpus-per-l2=2 --scale=4 --seed=7 \
+    --warmup=1000000 --measure=2000000 > /dev/null 2>&1 ||
+    fail "record SMP trace"
+
+echo "# sharing modes must print identical stdout" >&2
+for mode in single-pass per-degree; do
+    "$tool" sharing "$workdir/smp.mst" --mode=$mode \
+        > "$workdir/sharing.$mode" 2> /dev/null ||
+        fail "sharing --mode=$mode"
+done
+expect_identical "$workdir/sharing.single-pass" \
+    "$workdir/sharing.per-degree" \
+    "sharing output differs: single-pass vs per-degree"
+
+echo "PASS: sweep and sharing outputs identical across modes" >&2

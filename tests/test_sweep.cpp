@@ -278,3 +278,69 @@ TEST(Sweep, FastPathMatchesNaiveAcrossCounterReset)
         EXPECT_EQ(dres[i].accesses, ref_d.accesses) << i;
     }
 }
+
+TEST(Sweep, EnginesBitIdenticalOnPaperSweep)
+{
+    // Forced legacy walk vs forced single-pass engine: identical miss
+    // and access counts on the paper sweep, reference by reference.
+    const auto configs = SweepSimulator::paperSweep();
+    SweepSimulator legacy(configs, mem::SweepEngine::Legacy);
+    SweepSimulator fast(configs, mem::SweepEngine::SinglePass);
+    ASSERT_FALSE(legacy.singlePass());
+    ASSERT_TRUE(fast.singlePass());
+    EXPECT_STREQ(fast.engineName(), "stackdist-refinement");
+
+    sim::Rng rng(31);
+    mem::Addr cursor = 0;
+    for (int i = 0; i < 120000; ++i) {
+        const mem::MemRef ref = nextRef(rng, cursor);
+        legacy.access(ref);
+        fast.access(ref);
+    }
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(fast.icacheResults()[i].misses,
+                  legacy.icacheResults()[i].misses) << i;
+        EXPECT_EQ(fast.dcacheResults()[i].misses,
+                  legacy.dcacheResults()[i].misses) << i;
+        EXPECT_EQ(fast.icacheResults()[i].accesses,
+                  legacy.icacheResults()[i].accesses) << i;
+        EXPECT_EQ(fast.dcacheResults()[i].accesses,
+                  legacy.dcacheResults()[i].accesses) << i;
+    }
+    // And the critical histogram is exposed for the inclusion chain.
+    ASSERT_NE(fast.icriticalHistogram(), nullptr);
+    ASSERT_NE(fast.dcriticalHistogram(), nullptr);
+    EXPECT_EQ(legacy.icriticalHistogram(), nullptr);
+}
+
+TEST(Sweep, WarmupMemoSurvivesCounterReset)
+{
+    // Satellite regression: the repeated-block memo (lastBlock /
+    // lastLines) is deliberately kept across resetCounters(). A
+    // post-warmup repeat of the last pre-warmup block must be counted
+    // as an access and score as a hit in every engine — the memoized
+    // line is still resident and still MRU.
+    const auto configs = SweepSimulator::paperSweep();
+    for (auto engine :
+         {mem::SweepEngine::Legacy, mem::SweepEngine::SinglePass}) {
+        SweepSimulator sweep(configs, engine);
+        sweep.access({0xABC40, AccessType::Load, 0});   // warmup miss
+        sweep.access({0xABC44, AccessType::Store, 0});  // memo repeat
+        sweep.access({0xABC40, AccessType::IFetch, 0}); // I-bank too
+        sweep.resetCounters();
+
+        // Same block again, first thing after the warmup boundary.
+        sweep.access({0xABC48, AccessType::Load, 0});
+        sweep.access({0xABC4C, AccessType::IFetch, 0});
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            EXPECT_EQ(sweep.dcacheResults()[i].accesses, 1u)
+                << sweep.engineName() << " config " << i;
+            EXPECT_EQ(sweep.dcacheResults()[i].misses, 0u)
+                << sweep.engineName() << " config " << i;
+            EXPECT_EQ(sweep.icacheResults()[i].accesses, 1u)
+                << sweep.engineName() << " config " << i;
+            EXPECT_EQ(sweep.icacheResults()[i].misses, 0u)
+                << sweep.engineName() << " config " << i;
+        }
+    }
+}

@@ -555,6 +555,82 @@ TEST(TraceReplay, SweepReplayMatchesExecutionDrivenSweep)
     }
 }
 
+TEST(TraceReplay, SweepEnginesAgreeOnRecordedTrace)
+{
+    // One recording, three sweep paths: the auto-selected single-pass
+    // stack-distance engine, the forced legacy walk, and the
+    // per-configuration replay baseline must produce identical miss
+    // and access counts for every paper-sweep geometry.
+    core::TraceRecordOutcome rec =
+        core::recordTraceRun(uniprocessorJbbSpec());
+    ASSERT_FALSE(rec.traceData.empty());
+
+    core::SweepReplayOutcome fast =
+        core::replayTraceSweep(rec.traceData);
+    core::SweepReplayOutcome legacy = core::replayTraceSweep(
+        rec.traceData, mem::SweepEngine::Legacy);
+    core::SweepReplayOutcome percfg =
+        core::replayTraceSweepPerConfig(rec.traceData);
+    ASSERT_TRUE(fast.valid) << fast.error;
+    ASSERT_TRUE(legacy.valid) << legacy.error;
+    ASSERT_TRUE(percfg.valid) << percfg.error;
+    EXPECT_EQ(fast.engine, "stackdist-refinement");
+    EXPECT_EQ(legacy.engine, "legacy-walk");
+    EXPECT_EQ(fast.instructions, legacy.instructions);
+    EXPECT_EQ(fast.instructions, percfg.instructions);
+
+    ASSERT_EQ(fast.icache.size(), legacy.icache.size());
+    ASSERT_EQ(fast.icache.size(), percfg.icache.size());
+    for (std::size_t i = 0; i < fast.icache.size(); ++i) {
+        EXPECT_EQ(fast.icache[i].misses, legacy.icache[i].misses)
+            << "icache config " << i;
+        EXPECT_EQ(fast.dcache[i].misses, legacy.dcache[i].misses)
+            << "dcache config " << i;
+        EXPECT_EQ(fast.icache[i].misses, percfg.icache[i].misses)
+            << "icache config " << i << " (per-config)";
+        EXPECT_EQ(fast.dcache[i].misses, percfg.dcache[i].misses)
+            << "dcache config " << i << " (per-config)";
+        EXPECT_EQ(fast.icache[i].accesses, percfg.icache[i].accesses)
+            << "icache config " << i;
+        EXPECT_EQ(fast.dcache[i].accesses, percfg.dcache[i].accesses)
+            << "dcache config " << i;
+    }
+}
+
+TEST(TraceReplay, SharingFanoutBitIdenticalToPerDegree)
+{
+    // The Figure 16 study from one SMP recording: a single-decode
+    // fan-out across sharing degrees must leave every hierarchy in
+    // exactly the state a dedicated per-degree replay produces.
+    core::TraceRecordOutcome rec =
+        core::recordTraceRun(sharedL2EcperfSpec());
+    ASSERT_FALSE(rec.traceData.empty());
+
+    const std::vector<unsigned> degrees = {1, 2, 4};
+    const std::vector<core::HierarchyReplayOutcome> fanout =
+        core::replayTraceSharing(rec.traceData, degrees);
+    ASSERT_EQ(fanout.size(), degrees.size());
+
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+        ASSERT_TRUE(fanout[i].valid) << fanout[i].error;
+        trace::ReplayOverrides overrides;
+        overrides.cpusPerL2 = degrees[i];
+        core::HierarchyReplayOutcome solo =
+            core::replayTraceHierarchy(rec.traceData, overrides);
+        ASSERT_TRUE(solo.valid) << solo.error;
+        const std::string what =
+            "degree " + std::to_string(degrees[i]);
+        ASSERT_EQ(fanout[i].perCpu.size(), solo.perCpu.size());
+        for (std::size_t c = 0; c < solo.perCpu.size(); ++c)
+            expectStatsEqual(fanout[i].perCpu[c], solo.perCpu[c],
+                             what + " cpu " + std::to_string(c));
+        expectStatsEqual(fanout[i].aggregate, solo.aggregate, what);
+        EXPECT_EQ(fanout[i].c2cLines, solo.c2cLines) << what;
+        EXPECT_EQ(fanout[i].touchedLines, solo.touchedLines) << what;
+        EXPECT_EQ(fanout[i].counts.refs, solo.counts.refs) << what;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Content addressing and driver wiring.
 // ---------------------------------------------------------------------
