@@ -57,6 +57,22 @@ struct Options
     mem::FaultPlan::Kind inject = mem::FaultPlan::Kind::None;
     /** "synthetic", "workload" or "both". */
     std::string mode = "synthetic";
+    /** Replay a shrunken `.mst` repro instead of stressing. */
+    std::string repro;
+    /** Fault-plan parameters for --repro (explorer repros use 1/0). */
+    std::uint64_t injectPeriod = 1;
+    std::uint64_t injectSalt = 0;
+};
+
+/** Exit statuses of --repro replay (documented for CI scripting). */
+enum ReproStatus
+{
+    /** The replay re-fired an invariant: the repro is live. */
+    kReproRefired = 0,
+    /** The replay checked clean: the repro is stale. */
+    kReproClean = 2,
+    /** The file failed `.mst` validation. */
+    kReproInvalid = 3,
 };
 
 mem::FaultPlan::Kind
@@ -68,7 +84,7 @@ parseInject(const std::string &name)
         return mem::FaultPlan::Kind::DropInvalidate;
     if (name == "keep-owner")
         return mem::FaultPlan::Kind::KeepOwnerOnSnoop;
-    if (name == "skip-l1")
+    if (name == "skip-l1" || name == "skip-l1-back-inval")
         return mem::FaultPlan::Kind::SkipL1BackInvalidate;
     fatal("middlesim_stress: unknown --inject value '", name,
           "' (want none, drop-invalidate, keep-owner or skip-l1)");
@@ -98,6 +114,14 @@ parseArgs(int argc, char **argv)
             opt.out = arg.substr(6);
         } else if (arg.rfind("--inject=", 0) == 0) {
             opt.inject = parseInject(arg.substr(9));
+        } else if (arg.rfind("--inject-period=", 0) == 0) {
+            opt.injectPeriod =
+                std::strtoull(arg.c_str() + 16, nullptr, 10);
+        } else if (arg.rfind("--inject-salt=", 0) == 0) {
+            opt.injectSalt =
+                std::strtoull(arg.c_str() + 14, nullptr, 10);
+        } else if (arg.rfind("--repro=", 0) == 0) {
+            opt.repro = arg.substr(8);
         } else if (arg.rfind("--mode=", 0) == 0) {
             opt.mode = arg.substr(7);
             if (opt.mode != "synthetic" && opt.mode != "workload" &&
@@ -107,7 +131,9 @@ parseArgs(int argc, char **argv)
         } else {
             fatal("middlesim_stress: unknown flag '", arg,
                   "' (supported: --seeds=N, --seed0=N, --budget=SECs, "
-                  "--refs=N, --out=DIR, --inject=KIND, --mode=MODE)");
+                  "--refs=N, --out=DIR, --inject=KIND, "
+                  "--inject-period=N, --inject-salt=N, --mode=MODE, "
+                  "--repro=FILE.mst)");
         }
     }
     return opt;
@@ -238,12 +264,40 @@ struct Tally
     unsigned skipped = 0;
 };
 
+/** Ready-to-paste command line reproducing this seed's run. */
+std::string
+rerunCommand(std::uint64_t seed, const char *mode, const Options &opt)
+{
+    std::string cmd = "middlesim_stress --seeds=1 --seed0=" +
+                      std::to_string(seed) +
+                      " --refs=" + std::to_string(opt.refs) +
+                      " --mode=" + mode;
+    if (opt.inject != mem::FaultPlan::Kind::None)
+        cmd += std::string(" --inject=") + mem::toString(opt.inject);
+    if (!opt.out.empty())
+        cmd += " --out=" + opt.out;
+    return cmd;
+}
+
+/** Ready-to-paste command line replaying a written repro. */
+std::string
+replayCommand(const std::string &repro, const mem::FaultPlan *fault)
+{
+    std::string cmd = "middlesim_stress --repro=" + repro;
+    if (fault && fault->kind != mem::FaultPlan::Kind::None) {
+        cmd += std::string(" --inject=") + mem::toString(fault->kind);
+        cmd += " --inject-period=" + std::to_string(fault->period);
+        cmd += " --inject-salt=" + std::to_string(fault->salt);
+    }
+    return cmd;
+}
+
 /**
  * Shrink a violating stream, re-verify the minimal repro and write it
  * out. @return false if shrinking failed to reproduce the violation.
  */
 bool
-shrinkAndReport(const char *what, std::uint64_t seed,
+shrinkAndReport(const char *what, const char *mode, std::uint64_t seed,
                 const trace::TraceHeader &header,
                 std::vector<trace::TraceRecord> records,
                 const mem::FaultPlan *fault, const Options &opt)
@@ -254,6 +308,8 @@ shrinkAndReport(const char *what, std::uint64_t seed,
         std::printf("stress: seed %llu %s -> VIOLATION did not "
                     "reproduce on replay (unshrinkable)\n",
                     static_cast<unsigned long long>(seed), what);
+        std::printf("stress: rerun: %s\n",
+                    rerunCommand(seed, mode, opt).c_str());
         return false;
     }
     const std::string again =
@@ -264,6 +320,8 @@ shrinkAndReport(const char *what, std::uint64_t seed,
                     static_cast<unsigned long long>(seed), what,
                     r.invariant.c_str(),
                     again.empty() ? "clean" : again.c_str());
+        std::printf("stress: rerun: %s\n",
+                    rerunCommand(seed, mode, opt).c_str());
         return false;
     }
     std::string repro;
@@ -280,6 +338,11 @@ shrinkAndReport(const char *what, std::uint64_t seed,
                 r.records.size(), r.probes,
                 repro.empty() ? "" : " repro=",
                 repro.c_str());
+    std::printf("stress: rerun: %s\n",
+                rerunCommand(seed, mode, opt).c_str());
+    if (!repro.empty())
+        std::printf("stress: replay: %s\n",
+                    replayCommand(repro, fault).c_str());
     return true;
 }
 
@@ -324,6 +387,8 @@ runSyntheticSeed(std::uint64_t seed, const Options &opt, Tally &tally)
                         "fault %s (checker did not fire)\n",
                         static_cast<unsigned long long>(seed), geom,
                         mem::toString(opt.inject));
+            std::printf("stress: rerun: %s\n",
+                        rerunCommand(seed, "synthetic", opt).c_str());
         } else {
             std::printf("stress: seed %llu %s refs=%u -> clean\n",
                         static_cast<unsigned long long>(seed), geom,
@@ -334,7 +399,8 @@ runSyntheticSeed(std::uint64_t seed, const Options &opt, Tally &tally)
     ++tally.caught;
     if (!inject)
         ++tally.failures;
-    if (!shrinkAndReport(geom, seed, header, records, fault, opt))
+    if (!shrinkAndReport(geom, "synthetic", seed, header, records,
+                         fault, opt))
         ++tally.failures;
 }
 
@@ -424,6 +490,8 @@ runWorkloadSeed(std::uint64_t seed, const Options &opt, Tally &tally)
                     "not trace-shrinkable)\n",
                     static_cast<unsigned long long>(seed), geom,
                     first.invariant.c_str(), first.detail.c_str());
+        std::printf("stress: rerun: %s\n",
+                    rerunCommand(seed, "workload", opt).c_str());
         return;
     }
     trace::TraceReader reader(writer.take());
@@ -434,12 +502,68 @@ runWorkloadSeed(std::uint64_t seed, const Options &opt, Tally &tally)
                     "trace invalid: %s\n",
                     static_cast<unsigned long long>(seed), geom,
                     first.invariant.c_str(), reader.error().c_str());
+        std::printf("stress: rerun: %s\n",
+                    rerunCommand(seed, "workload", opt).c_str());
         ++tally.failures;
         return;
     }
-    if (!shrinkAndReport(geom, seed, header, std::move(records), fault,
-                         opt))
+    if (!shrinkAndReport(geom, "workload", seed, header,
+                         std::move(records), fault, opt))
         ++tally.failures;
+}
+
+/**
+ * Replay a shrunken `.mst` repro under full checking. The exit code
+ * tells CI scripts whether the repro is still live: kReproRefired (0)
+ * when an invariant fired again, kReproClean (2) when the trace now
+ * checks clean (stale repro), kReproInvalid (3) for a broken file.
+ */
+int
+replayRepro(const Options &opt)
+{
+    std::string text;
+    if (!trace::readTraceFile(opt.repro, text)) {
+        std::printf("stress: repro %s -> cannot read file\n",
+                    opt.repro.c_str());
+        return kReproInvalid;
+    }
+    trace::TraceReader reader(text);
+    std::vector<trace::TraceRecord> records =
+        check::collectRecords(reader);
+    if (!reader.complete()) {
+        std::printf("stress: repro %s -> invalid trace: %s\n",
+                    opt.repro.c_str(), reader.error().c_str());
+        return kReproInvalid;
+    }
+
+    mem::FaultPlan plan;
+    const mem::FaultPlan *fault = nullptr;
+    if (opt.inject != mem::FaultPlan::Kind::None) {
+        plan.kind = opt.inject;
+        plan.period = opt.injectPeriod;
+        plan.salt = opt.injectSalt;
+        fault = &plan;
+    }
+
+    const trace::TraceHeader &header = reader.header();
+    const std::string invariant =
+        check::violatedInvariant(header, records, fault);
+    if (invariant.empty()) {
+        std::printf("stress: repro %s (%zu records, cpus=%u/l2x%u"
+                    "%s%s) -> CLEAN: invariant did not re-fire\n",
+                    opt.repro.c_str(), records.size(),
+                    header.totalCpus, header.cpusPerL2,
+                    fault ? " inject=" : "",
+                    fault ? mem::toString(opt.inject) : "");
+        return kReproClean;
+    }
+    std::printf("stress: repro %s (%zu records, cpus=%u/l2x%u%s%s) "
+                "-> re-fired %s\n",
+                opt.repro.c_str(), records.size(), header.totalCpus,
+                header.cpusPerL2, fault ? " inject=" : "",
+                fault ? mem::toString(opt.inject) : "",
+                invariant.c_str());
+    return kReproRefired;
 }
 
 } // namespace
@@ -451,6 +575,9 @@ main(int argc, char **argv)
     // This driver arms checkers explicitly in collection mode; the
     // process-wide fail-fast opt-in must not preempt it.
     check::setCheckingEnabled(false);
+
+    if (!opt.repro.empty())
+        return replayRepro(opt);
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto overBudget = [&] {

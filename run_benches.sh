@@ -298,6 +298,61 @@ echo "--- wall clock: fig12 plain ${fig12_plain}s," \
      "${traces_valid}/${traces_total} traces valid"
 echo "wrote $trace_json"
 
+# Exhaustive interleaving explorer: states explored and DPOR pruning
+# ratio against the naive enumeration on the acceptance geometry
+# (both enumerated for real, so the ratio is measured, not computed),
+# plus time-to-find for every injected defect kind.
+echo "################ interleaving explorer (BENCH_explore.json)"
+explore_dir=$(mktemp -d /tmp/middlesim_explore.XXXXXX)
+efield() { grep -o "\"$1\": *[0-9.]*" "$2" | grep -o '[0-9.]*$'; }
+
+time_run ./build/bench/middlesim_explore \
+    --report="$explore_dir/clean.json"
+explore_dpor_s="$elapsed_s"
+time_run ./build/bench/middlesim_explore --no-dpor \
+    --report="$explore_dir/naive.json"
+explore_naive_s="$elapsed_s"
+
+explore_states=$(efield interleavings_explored "$explore_dir/clean.json")
+explore_naive_states=$(efield interleavings_explored \
+    "$explore_dir/naive.json")
+explore_pruning=$(efield pruning_ratio "$explore_dir/clean.json")
+
+time_run ./build/bench/middlesim_explore --inject=drop-invalidate \
+    --report=/dev/null
+find_drop="$elapsed_s"
+time_run ./build/bench/middlesim_explore --inject=keep-owner \
+    --report=/dev/null
+find_keep="$elapsed_s"
+time_run ./build/bench/middlesim_explore --inject=skip-l1 \
+    --report=/dev/null
+find_skip="$elapsed_s"
+rm -rf "$explore_dir"
+
+explore_json="BENCH_explore.json"
+{
+    echo "{"
+    printf '  "schema": "middlesim-bench-explore-v1",\n'
+    printf '  "cpus": 2, "blocks": 2, "refs": 12, "seed": 1,\n'
+    printf '  "interleavings_explored_dpor": %s,\n' "$explore_states"
+    printf '  "interleavings_explored_naive": %s,\n' \
+        "$explore_naive_states"
+    printf '  "dpor_pruning_ratio": %s,\n' "$explore_pruning"
+    printf '  "clean_dpor_s": %s,\n' "$explore_dpor_s"
+    printf '  "clean_naive_s": %s,\n' "$explore_naive_s"
+    printf '  "dpor_speedup": %s,\n' \
+        "$(awk "BEGIN { print $explore_naive_s / $explore_dpor_s }")"
+    printf '  "time_to_find_drop_invalidate_s": %s,\n' "$find_drop"
+    printf '  "time_to_find_keep_owner_s": %s,\n' "$find_keep"
+    printf '  "time_to_find_skip_l1_s": %s\n' "$find_skip"
+    echo "}"
+} > "$explore_json"
+echo "--- wall clock: explore dpor ${explore_dpor_s}s" \
+     "(${explore_states} states) vs naive ${explore_naive_s}s" \
+     "(${explore_naive_states} states); finds:" \
+     "drop ${find_drop}s, keep ${find_keep}s, skip ${find_skip}s"
+echo "wrote $explore_json"
+
 echo "################ ablation_mechanisms"
 ./build/bench/ablation_mechanisms
 echo

@@ -50,6 +50,15 @@ struct CheckOptions
     std::uint64_t auditPeriod = 0;
 };
 
+/** One-line rendering of a violation, as fail-fast would print it. */
+inline std::string
+formatViolation(const Violation &v)
+{
+    return v.invariant + " — " + v.detail + " (tick " +
+           std::to_string(v.tick) + ", ref #" +
+           std::to_string(v.refIndex) + ")";
+}
+
 /** Sink for violations plus per-run checking counters. */
 class CheckReport
 {
@@ -86,6 +95,26 @@ class CheckReport
     std::vector<Violation> violations_;
     std::uint64_t total_ = 0;
 };
+
+/**
+ * Multi-line summary of a collection-mode report: one header line
+ * with the counters, then one indented formatViolation() line per
+ * retained violation (noting how many the cap dropped).
+ */
+inline std::string
+formatReport(const CheckReport &report)
+{
+    std::string out = report.clean() ? "clean" : "violated";
+    out += ": " + std::to_string(report.refsChecked) +
+           " refs checked, " +
+           std::to_string(report.totalViolations()) + " violations";
+    if (report.totalViolations() > report.violations().size())
+        out += " (" + std::to_string(report.violations().size()) +
+               " retained)";
+    for (const Violation &v : report.violations())
+        out += "\n  " + formatViolation(v);
+    return out;
+}
 
 } // namespace middlesim::check
 

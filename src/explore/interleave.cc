@@ -1,0 +1,125 @@
+#include "explore/interleave.hh"
+
+#include "sim/rng.hh"
+
+namespace middlesim::explore
+{
+
+namespace
+{
+
+constexpr mem::Addr poolBase = 0x1000'0000ULL;
+constexpr std::uint64_t blockBytes = 64;
+
+mem::Addr
+blockOf(mem::Addr addr)
+{
+    return addr & ~(blockBytes - 1);
+}
+
+std::uint64_t
+l2SetOf(mem::Addr addr, const trace::TraceHeader &h)
+{
+    const std::uint64_t sets =
+        h.l2.sizeBytes / (h.l2.assoc * h.l2.blockBytes);
+    return (addr / h.l2.blockBytes) % (sets ? sets : 1);
+}
+
+} // namespace
+
+trace::TraceHeader
+exploreHeader(unsigned cpus, unsigned cpus_per_l2, std::uint64_t seed)
+{
+    trace::TraceHeader h;
+    h.specKey = "";
+    h.label = "explore-seed" + std::to_string(seed);
+    h.totalCpus = cpus;
+    h.appCpus = cpus;
+    h.cpusPerL2 = cpus_per_l2;
+    // Small but real geometry: the block pool fits with room to
+    // spare, so exploration never depends on victim-selection order
+    // (the engine still reports capacity misses should one occur).
+    h.l1i = {4096, 2, 64};
+    h.l1d = {4096, 2, 64};
+    h.l2 = {32768, 4, 64};
+    h.seed = seed;
+    return h;
+}
+
+Streams
+makeStreams(unsigned cpus, unsigned blocks, unsigned refs,
+            std::uint64_t seed)
+{
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xe87);
+    Streams out(cpus);
+    for (unsigned i = 0; i < refs; ++i) {
+        const unsigned cpu = i % cpus;
+        mem::MemRef ref;
+        ref.cpu = cpu;
+        const mem::Addr block =
+            poolBase + blockBytes * rng.uniform(blocks);
+        const std::uint64_t roll = rng.uniform(100);
+        if (roll < 55)
+            ref.type = mem::AccessType::Load;
+        else if (roll < 75)
+            ref.type = mem::AccessType::Store;
+        else if (roll < 85)
+            ref.type = mem::AccessType::IFetch;
+        else if (roll < 92)
+            ref.type = mem::AccessType::Atomic;
+        else
+            ref.type = mem::AccessType::BlockStore;
+        ref.addr = ref.type == mem::AccessType::BlockStore
+                       ? block
+                       : block + 8 * rng.uniform(8);
+        out[cpu].push_back(ref);
+    }
+    return out;
+}
+
+bool
+conflict(const mem::MemRef &a, const mem::MemRef &b,
+         const trace::TraceHeader &header)
+{
+    if (a.cpu == b.cpu)
+        return true;
+    if (blockOf(a.addr) == blockOf(b.addr))
+        return mem::isWrite(a.type) || mem::isWrite(b.type);
+    // Different blocks only interact through victim selection in a
+    // shared L2 set; private L2s (cpusPerL2 == 1) cannot.
+    const unsigned ga = a.cpu / header.cpusPerL2;
+    const unsigned gb = b.cpu / header.cpusPerL2;
+    return ga == gb && l2SetOf(a.addr, header) == l2SetOf(b.addr, header);
+}
+
+std::uint64_t
+naiveInterleavings(const Streams &streams, bool &saturated)
+{
+    saturated = false;
+    // Product over streams of C(prefix_total, n_i), accumulated in
+    // 128 bits; each binomial is computed factor by factor.
+    unsigned __int128 total = 1;
+    std::uint64_t placed = 0;
+    for (const auto &stream : streams) {
+        for (std::uint64_t k = 1; k <= stream.size(); ++k) {
+            ++placed;
+            total = total * placed / k; // exact: C(placed,k) growing
+            if (total > static_cast<unsigned __int128>(UINT64_MAX)) {
+                saturated = true;
+                return UINT64_MAX;
+            }
+        }
+    }
+    return static_cast<std::uint64_t>(total);
+}
+
+std::size_t
+totalRefs(const Streams &streams)
+{
+    std::size_t n = 0;
+    for (const auto &stream : streams)
+        n += stream.size();
+    return n;
+}
+
+} // namespace middlesim::explore

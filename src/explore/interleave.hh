@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interleaving model for the coherence explorer.
+ *
+ * The explorer's input is a set of per-CPU reference sequences over a
+ * small block pool (the "program"); a schedule is a linearization of
+ * those sequences. Two scheduled references commute — swapping two
+ * adjacent occurrences yields an execution no invariant checker can
+ * distinguish — unless they conflict:
+ *
+ *  - same program order: two references of the same CPU never commute;
+ *  - same block, at least one write (Store/Atomic/BlockStore): the
+ *    write invalidates or upgrades against the other copy, a
+ *    coherence transition whose order is observable;
+ *  - different blocks mapping to the same set of a shared L2: the
+ *    victim-selection order is observable once the set fills
+ *    (irrelevant at cpusPerL2=1, where each CPU owns its L2).
+ *
+ * Cross-group loads of the same block are deliberately independent: in
+ * MOSI a load only performs I->S for the requester and M->O for a
+ * snooped owner, and those transitions commute with other loads. The
+ * dpor-vs-naive cross-check in tests/test_explore.cpp validates this
+ * relation empirically on exhaustively enumerable geometries.
+ */
+
+#ifndef EXPLORE_INTERLEAVE_HH
+#define EXPLORE_INTERLEAVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memref.hh"
+#include "trace/format.hh"
+
+namespace middlesim::explore
+{
+
+/** One fixed reference sequence per CPU. */
+using Streams = std::vector<std::vector<mem::MemRef>>;
+
+/** A small-geometry machine for exploration runs. */
+trace::TraceHeader exploreHeader(unsigned cpus, unsigned cpus_per_l2,
+                                 std::uint64_t seed);
+
+/**
+ * Deterministic per-CPU streams: `refs` references total, dealt
+ * round-robin over `cpus` CPUs, drawn from a pool of `blocks` shared
+ * blocks with a read/write/ifetch/atomic/block-store mix. The same
+ * (cpus, blocks, refs, seed) always yields the same streams.
+ */
+Streams makeStreams(unsigned cpus, unsigned blocks, unsigned refs,
+                    std::uint64_t seed);
+
+/** True when scheduling order of `a` and `b` is observable. */
+bool conflict(const mem::MemRef &a, const mem::MemRef &b,
+              const trace::TraceHeader &header);
+
+/**
+ * Interleavings of the streams a naive enumerator would visit: the
+ * multinomial (sum n_i)! / prod n_i!. Saturates at UINT64_MAX (the
+ * flag is set) rather than overflowing.
+ */
+std::uint64_t naiveInterleavings(const Streams &streams,
+                                 bool &saturated);
+
+/** Total reference count across all streams. */
+std::size_t totalRefs(const Streams &streams);
+
+} // namespace middlesim::explore
+
+#endif // EXPLORE_INTERLEAVE_HH

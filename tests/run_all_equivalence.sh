@@ -9,6 +9,9 @@
 # the test loudly.
 #
 # Usage: run_all_equivalence.sh <build/bench dir>
+#
+# Exit status: 0 = pass; 1 = output mismatch or harness assertion;
+# 2 = a binary under test crashed (killed by a signal / unrunnable).
 
 set -euo pipefail
 
@@ -23,6 +26,7 @@ figures="fig04_scaling fig05_execmodes fig06_cpi fig07_datastall \
          fig15_comm_abs fig16_shared"
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
+crash() { echo "CRASH: $*" >&2; exit 2; }
 
 # Every binary must exist up front: a missing driver must fail here,
 # not as a mysteriously short concatenation later.
@@ -35,14 +39,14 @@ trap 'rm -rf "$workdir"' EXIT
 mkdir -p "$workdir/metrics_solo" "$workdir/metrics_runall"
 
 # Run a command whose shape checks may fail (exit 1) but which must
-# not crash (any other nonzero exit).
+# not crash (any other nonzero exit; 128+N means killed by signal N).
 run_tolerant() {
     local out=$1
     shift
     local status=0
     "$@" > "$out" 2> /dev/null || status=$?
     [ "$status" -le 1 ] ||
-        fail "crashed with exit status $status: $*"
+        crash "crashed with exit status $status: $*"
 }
 
 # Byte compare; on mismatch show the divergence, not just "differs".

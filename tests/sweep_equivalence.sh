@@ -10,6 +10,9 @@
 # which CI runs separately.)
 #
 # Usage: sweep_equivalence.sh <build/bench dir>
+#
+# Exit status: 0 = pass; 1 = output mismatch or harness assertion;
+# 2 = a binary under test crashed (killed by a signal / unrunnable).
 
 set -euo pipefail
 
@@ -21,6 +24,18 @@ workdir=$(mktemp -d /tmp/middlesim_sweepeq.XXXXXX)
 trap 'rm -rf "$workdir"' EXIT
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
+crash() { echo "CRASH: $*" >&2; exit 2; }
+
+# Triage a tool exit status: >= 126 means the shell could not run it
+# or it died on a signal (128+N) — a crash, not a mismatch.
+check_status() {
+    local status=$1 what=$2
+    if [ "$status" -ge 126 ]; then
+        crash "$what: killed or unrunnable (exit status $status)"
+    elif [ "$status" -ne 0 ]; then
+        fail "$what (exit status $status)"
+    fi
+}
 
 expect_identical() {
     local a=$1 b=$2 what=$3
@@ -31,16 +46,19 @@ expect_identical() {
 }
 
 echo "# record uniprocessor trace" >&2
+status=0
 "$tool" record --out="$workdir/uni.mst" --workload=specjbb \
     --app-cpus=1 --total-cpus=1 --scale=2 --seed=42 \
-    --warmup=1000000 --measure=2000000 > /dev/null 2>&1 ||
-    fail "record uniprocessor trace"
+    --warmup=1000000 --measure=2000000 > /dev/null 2>&1 || status=$?
+check_status "$status" "record uniprocessor trace"
 
 echo "# sweep modes must print identical stdout" >&2
 for mode in auto single-pass legacy per-config; do
+    status=0
     "$tool" sweep "$workdir/uni.mst" --mode=$mode \
         > "$workdir/sweep.$mode" 2> "$workdir/sweep.$mode.err" ||
-        fail "sweep --mode=$mode"
+        status=$?
+    check_status "$status" "sweep --mode=$mode"
 done
 grep -q "stackdist" "$workdir/sweep.auto.err" ||
     fail "auto mode did not select a single-pass engine"
@@ -52,16 +70,18 @@ for mode in single-pass legacy per-config; do
 done
 
 echo "# record SMP trace for the sharing study" >&2
+status=0
 "$tool" record --out="$workdir/smp.mst" --workload=ecperf \
     --app-cpus=2 --total-cpus=4 --cpus-per-l2=2 --scale=4 --seed=7 \
-    --warmup=1000000 --measure=2000000 > /dev/null 2>&1 ||
-    fail "record SMP trace"
+    --warmup=1000000 --measure=2000000 > /dev/null 2>&1 || status=$?
+check_status "$status" "record SMP trace"
 
 echo "# sharing modes must print identical stdout" >&2
 for mode in single-pass per-degree; do
+    status=0
     "$tool" sharing "$workdir/smp.mst" --mode=$mode \
-        > "$workdir/sharing.$mode" 2> /dev/null ||
-        fail "sharing --mode=$mode"
+        > "$workdir/sharing.$mode" 2> /dev/null || status=$?
+    check_status "$status" "sharing --mode=$mode"
 done
 expect_identical "$workdir/sharing.single-pass" \
     "$workdir/sharing.per-degree" \

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "check/checker.hh"
+#include "check/mem_checker.hh"
 #include "check/report.hh"
 #include "check/shrink.hh"
 #include "core/experiment.hh"
@@ -32,6 +33,7 @@
 #include "sim/rng.hh"
 #include "trace/format.hh"
 #include "trace/reader.hh"
+#include "trace/replay.hh"
 #include "trace/writer.hh"
 
 using namespace middlesim;
@@ -424,4 +426,145 @@ TEST(CheckReportTest, CollectionModeCapsStoredViolations)
     ASSERT_EQ(report.violations().size(), 2u);
     EXPECT_EQ(report.violations()[0].invariant, "test.invariant");
     EXPECT_EQ(report.violations()[0].tick, 100u);
+}
+
+TEST(CheckReportTest, FormatViolationMatchesFailFastShape)
+{
+    check::Violation v;
+    v.invariant = "mosi.peer-not-invalidated";
+    v.detail = "block 0x40 still Shared in group 1";
+    v.tick = 1234;
+    v.refIndex = 7;
+    EXPECT_EQ(check::formatViolation(v),
+              "mosi.peer-not-invalidated — block 0x40 still Shared "
+              "in group 1 (tick 1234, ref #7)");
+}
+
+TEST(CheckReportTest, FormatReportCleanAndViolated)
+{
+    check::CheckOptions opts;
+    opts.failFast = false;
+    opts.maxViolations = 1;
+    check::CheckReport report(opts);
+    report.refsChecked = 42;
+    EXPECT_EQ(check::formatReport(report),
+              "clean: 42 refs checked, 0 violations");
+
+    report.refIndex = 3;
+    report.violate("a.b", "first", 10);
+    report.violate("c.d", "second", 20);
+    const std::string text = check::formatReport(report);
+    EXPECT_NE(text.find("violated: 42 refs checked, 2 violations"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("(1 retained)"), std::string::npos) << text;
+    EXPECT_NE(text.find("a.b — first (tick 10, ref #3)"),
+              std::string::npos)
+        << text;
+    // The second violation fell to the cap and must not be rendered.
+    EXPECT_EQ(text.find("c.d"), std::string::npos) << text;
+}
+
+TEST(CheckReportTest, BoundedCollectionUnderRealFlood)
+{
+    // A period-1 defect on a hot shared stream fires far more often
+    // than the cap: the report must retain exactly the cap, keep
+    // counting the overflow, and stay out of fail-fast.
+    const trace::TraceHeader h = header(8, 2, 8192, 2, 65536, 4);
+    const auto stream = randomStream(31, h, 8000);
+    mem::FaultPlan plan;
+    plan.kind = mem::FaultPlan::Kind::DropInvalidate;
+    plan.period = 1;
+
+    auto hierarchy = trace::hierarchyFor(h);
+    hierarchy->setFaultPlan(&plan);
+    check::CheckOptions opts;
+    opts.failFast = false;
+    opts.maxViolations = 4;
+    check::CheckReport report(opts);
+    check::MemChecker checker(*hierarchy, report);
+    hierarchy->setAccessObserver(&checker);
+    for (const trace::TraceRecord &rec : stream) {
+        if (rec.isRef)
+            hierarchy->access(rec.ref, rec.tick);
+    }
+
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.violations().size(), 4u);
+    EXPECT_GT(report.totalViolations(), 4u);
+    EXPECT_EQ(report.refsChecked, stream.size());
+}
+
+// ---------------------------------------------------------------------
+// Degenerate 1-CPU geometries: peer-coherence defects have no peer to
+// corrupt, but the inclusion defect still fires through evictions.
+// ---------------------------------------------------------------------
+
+TEST(CheckDegenerate, OneCpuPeerFaultsCannotFire)
+{
+    const trace::TraceHeader h = header(1, 1, 4096, 2, 32768, 4);
+    const auto stream = randomStream(41, h, 10000);
+    for (const mem::FaultPlan::Kind kind :
+         {mem::FaultPlan::Kind::DropInvalidate,
+          mem::FaultPlan::Kind::KeepOwnerOnSnoop}) {
+        mem::FaultPlan plan;
+        plan.kind = kind;
+        plan.period = 1;
+        EXPECT_EQ(check::violatedInvariant(h, stream, &plan), "")
+            << mem::toString(kind)
+            << " should be inert without a peer CPU";
+    }
+}
+
+TEST(CheckDegenerate, OneCpuSkipL1FiresViaEviction)
+{
+    // SkipL1BackInvalidate corrupts the L2->L1 back-invalidate on
+    // eviction as well as on remote writes, so a single CPU with a
+    // cold pool spilling its L2 is enough to catch it — through the
+    // inclusion audit (L1 holds a block the L2 evicted) rather than
+    // the remote-write staleness check, which needs a peer.
+    const trace::TraceHeader h = header(1, 1, 4096, 2, 32768, 4);
+    const auto stream = randomStream(42, h, 10000);
+    mem::FaultPlan plan;
+    plan.kind = mem::FaultPlan::Kind::SkipL1BackInvalidate;
+    plan.period = 1;
+    EXPECT_EQ(check::violatedInvariant(h, stream, &plan),
+              "incl.l1-without-l2");
+}
+
+// ---------------------------------------------------------------------
+// Defect-catch matrix: every FaultPlan kind x the checker that must
+// catch it. An injected bug no checker fires on is a test failure.
+// ---------------------------------------------------------------------
+
+TEST(CheckMatrix, EveryFaultKindCaughtByExpectedChecker)
+{
+    struct Row
+    {
+        mem::FaultPlan::Kind kind;
+        const char *invariant;
+    };
+    static const Row rows[] = {
+        {mem::FaultPlan::Kind::DropInvalidate,
+         "mosi.peer-not-invalidated"},
+        {mem::FaultPlan::Kind::KeepOwnerOnSnoop,
+         "mosi.snoop-degrade"},
+        {mem::FaultPlan::Kind::SkipL1BackInvalidate,
+         "incl.l1-stale-after-write"},
+    };
+    static const unsigned geoms[][2] = {{2, 1}, {4, 2}, {8, 2}};
+    for (const Row &row : rows) {
+        for (const auto &geom : geoms) {
+            const trace::TraceHeader h =
+                header(geom[0], geom[1], 8192, 2, 65536, 4);
+            const auto stream = randomStream(51, h, 8000);
+            mem::FaultPlan plan;
+            plan.kind = row.kind;
+            plan.period = 1;
+            EXPECT_EQ(check::violatedInvariant(h, stream, &plan),
+                      row.invariant)
+                << mem::toString(row.kind) << " on " << geom[0]
+                << " cpus / " << geom[1] << " per L2";
+        }
+    }
 }

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Exhaustive coherence-interleaving explorer tests (src/explore/).
+ *
+ * Four claims are anchored here:
+ *  - soundness of the reduction: on exhaustively enumerable
+ *    geometries, DPOR and the naive enumeration agree on whether any
+ *    invariant can fire, and the naive enumeration visits exactly the
+ *    multinomial interleaving count;
+ *  - exhaustive sensitivity: every mem::FaultPlan defect kind is
+ *    found deterministically — not probabilistically — on a 2-CPU
+ *    geometry, with a minimal `.mst`-encodable repro that re-fires
+ *    the same invariant on replay and checks clean unfaulted;
+ *  - determinism: the same inputs yield byte-identical JSON reports
+ *    and repro schedules across runs and across --jobs settings;
+ *  - pruning power: the acceptance geometry (2 CPUs x 2 blocks x
+ *    12 refs) prunes >= 5x against the naive count with zero capacity
+ *    misses (the independence relation's soundness precondition).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/shrink.hh"
+#include "explore/explorer.hh"
+#include "explore/interleave.hh"
+#include "explore/scheduler.hh"
+#include "mem/fault.hh"
+#include "trace/format.hh"
+#include "trace/reader.hh"
+
+using namespace middlesim;
+
+namespace
+{
+
+struct Geometry
+{
+    unsigned cpus = 2;
+    unsigned cpusPerL2 = 1;
+    unsigned blocks = 2;
+    unsigned refs = 12;
+    std::uint64_t seed = 1;
+};
+
+explore::ExploreResult
+run(const Geometry &g, const mem::FaultPlan *fault,
+    explore::ExploreOptions opts = explore::ExploreOptions())
+{
+    const trace::TraceHeader header =
+        explore::exploreHeader(g.cpus, g.cpusPerL2, g.seed);
+    const explore::Streams streams =
+        explore::makeStreams(g.cpus, g.blocks, g.refs, g.seed);
+    return explore::explore(header, streams, fault, opts);
+}
+
+mem::FaultPlan
+planFor(mem::FaultPlan::Kind kind)
+{
+    mem::FaultPlan plan;
+    plan.kind = kind;
+    plan.period = 1;
+    plan.salt = 0;
+    return plan;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Enumeration soundness.
+// ---------------------------------------------------------------------
+
+TEST(ExploreEnumerate, NaiveCountMatchesMultinomial)
+{
+    // 12 refs round-robin over 2 CPUs: C(12,6) = 924 interleavings.
+    const explore::Streams streams =
+        explore::makeStreams(2, 2, 12, 1);
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(explore::totalRefs(streams), 12u);
+    bool saturated = true;
+    EXPECT_EQ(explore::naiveInterleavings(streams, saturated), 924u);
+    EXPECT_FALSE(saturated);
+}
+
+TEST(ExploreEnumerate, NaiveCountSaturatesInsteadOfOverflowing)
+{
+    const explore::Streams streams =
+        explore::makeStreams(8, 4, 200, 1);
+    bool saturated = false;
+    EXPECT_EQ(explore::naiveInterleavings(streams, saturated),
+              UINT64_MAX);
+    EXPECT_TRUE(saturated);
+}
+
+TEST(ExploreEnumerate, DporOffVisitsEveryInterleaving)
+{
+    Geometry g;
+    g.refs = 8; // C(8,4) = 70: small enough to enumerate naively.
+    explore::ExploreOptions opts;
+    opts.dpor = false;
+    const explore::ExploreResult r = run(g, nullptr, opts);
+    EXPECT_FALSE(r.foundViolation);
+    EXPECT_EQ(r.stats.executions, 70u);
+    EXPECT_EQ(r.naive, 70u);
+    EXPECT_FALSE(r.stats.truncated);
+}
+
+TEST(ExploreEnumerate, DporAgreesWithNaiveOnCleanliness)
+{
+    // The empirical soundness check for the independence relation:
+    // across several seeds, both enumerations must agree that no
+    // invariant can fire (and DPOR must never explore more).
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Geometry g;
+        g.seed = seed;
+        g.refs = 10;
+        const explore::ExploreResult dpor = run(g, nullptr);
+        explore::ExploreOptions naive;
+        naive.dpor = false;
+        const explore::ExploreResult full = run(g, nullptr, naive);
+        EXPECT_FALSE(dpor.foundViolation) << "seed " << seed;
+        EXPECT_FALSE(full.foundViolation) << "seed " << seed;
+        EXPECT_LE(dpor.stats.executions, full.stats.executions)
+            << "seed " << seed;
+        EXPECT_EQ(full.stats.executions, full.naive)
+            << "seed " << seed;
+    }
+}
+
+TEST(ExploreEnumerate, OneCpuHasExactlyOneSchedule)
+{
+    Geometry g;
+    g.cpus = 1;
+    g.blocks = 1;
+    g.refs = 6;
+    const explore::ExploreResult r = run(g, nullptr);
+    EXPECT_EQ(r.naive, 1u);
+    EXPECT_EQ(r.stats.executions, 1u);
+    EXPECT_FALSE(r.foundViolation);
+}
+
+TEST(ExploreEnumerate, DepthBudgetSetsTruncatedFlag)
+{
+    Geometry g;
+    explore::ExploreOptions opts;
+    opts.depthBudget = 4; // Shorter than the 12-ref schedules.
+    const explore::ExploreResult r = run(g, nullptr, opts);
+    EXPECT_TRUE(r.stats.truncated);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance geometry: pruning power and its soundness precondition.
+// ---------------------------------------------------------------------
+
+TEST(ExplorePruning, AcceptanceGeometryPrunesFivefold)
+{
+    const Geometry g; // 2 cpus x 2 blocks x 12 refs, seed 1.
+    const explore::ExploreResult r = run(g, nullptr);
+    EXPECT_FALSE(r.foundViolation);
+    EXPECT_FALSE(r.stats.truncated);
+    EXPECT_EQ(r.naive, 924u);
+    EXPECT_GE(r.pruningRatio(), 5.0)
+        << r.stats.executions << " of " << r.naive;
+    // The independence relation assumes no capacity evictions; the
+    // explorer geometries must keep their pools cache-resident.
+    EXPECT_EQ(r.stats.capacityMisses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive defect finding: every fault kind, guaranteed.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+expectFoundExhaustively(mem::FaultPlan::Kind kind,
+                        const std::string &want_invariant)
+{
+    const Geometry g;
+    const mem::FaultPlan plan = planFor(kind);
+    const explore::ExploreResult r = run(g, &plan);
+    ASSERT_TRUE(r.foundViolation) << mem::toString(kind);
+    EXPECT_EQ(r.invariant, want_invariant);
+    EXPECT_FALSE(r.stats.truncated)
+        << "a truncated search is not an exhaustive guarantee";
+    ASSERT_FALSE(r.repro.empty());
+    EXPECT_LE(r.repro.size(), r.schedule.size());
+
+    const trace::TraceHeader header =
+        explore::exploreHeader(g.cpus, g.cpusPerL2, g.seed);
+    // The minimal repro re-fires the same invariant under the plan...
+    EXPECT_EQ(check::violatedInvariant(header, r.repro, &plan),
+              want_invariant);
+    // ...and checks clean on an unfaulted hierarchy.
+    EXPECT_EQ(check::violatedInvariant(header, r.repro), "");
+}
+
+} // namespace
+
+TEST(ExploreInject, DropInvalidateFoundExhaustively)
+{
+    expectFoundExhaustively(mem::FaultPlan::Kind::DropInvalidate,
+                            "mosi.peer-not-invalidated");
+}
+
+TEST(ExploreInject, KeepOwnerOnSnoopFoundExhaustively)
+{
+    expectFoundExhaustively(mem::FaultPlan::Kind::KeepOwnerOnSnoop,
+                            "mosi.snoop-degrade");
+}
+
+TEST(ExploreInject, SkipL1BackInvalidateFoundExhaustively)
+{
+    expectFoundExhaustively(
+        mem::FaultPlan::Kind::SkipL1BackInvalidate,
+        "incl.l1-stale-after-write");
+}
+
+TEST(ExploreInject, MatrixHoldsUnderDporAndNaive)
+{
+    // The defect-catch matrix under exploration: DPOR must find
+    // exactly what the naive enumeration finds, for every kind.
+    struct Row
+    {
+        mem::FaultPlan::Kind kind;
+        const char *invariant;
+    };
+    static const Row rows[] = {
+        {mem::FaultPlan::Kind::DropInvalidate,
+         "mosi.peer-not-invalidated"},
+        {mem::FaultPlan::Kind::KeepOwnerOnSnoop,
+         "mosi.snoop-degrade"},
+        {mem::FaultPlan::Kind::SkipL1BackInvalidate,
+         "incl.l1-stale-after-write"},
+    };
+    Geometry g;
+    g.refs = 8; // Keep the naive leg enumerable.
+    for (const Row &row : rows) {
+        const mem::FaultPlan plan = planFor(row.kind);
+        const explore::ExploreResult dpor = run(g, &plan);
+        explore::ExploreOptions nopts;
+        nopts.dpor = false;
+        const explore::ExploreResult naive = run(g, &plan, nopts);
+        EXPECT_TRUE(dpor.foundViolation) << mem::toString(row.kind);
+        EXPECT_TRUE(naive.foundViolation) << mem::toString(row.kind);
+        EXPECT_EQ(dpor.invariant, row.invariant);
+        EXPECT_EQ(naive.invariant, row.invariant);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: reports and repros are byte-identical across runs and
+// job counts.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+reportFor(const Geometry &g, const mem::FaultPlan *fault,
+          unsigned jobs)
+{
+    explore::ExploreOptions opts;
+    opts.jobs = jobs;
+    const explore::ExploreResult r = run(g, fault, opts);
+    explore::ReportConfig rc;
+    rc.cpus = g.cpus;
+    rc.cpusPerL2 = g.cpusPerL2;
+    rc.blocks = g.blocks;
+    rc.refs = g.refs;
+    rc.seed = g.seed;
+    rc.inject = fault ? mem::toString(fault->kind) : "none";
+    return explore::reportJson(r, rc);
+}
+
+} // namespace
+
+TEST(ExploreDeterminism, ReportBytesIdenticalAcrossRunsAndJobs)
+{
+    const Geometry g;
+    const std::string first = reportFor(g, nullptr, 1);
+    EXPECT_EQ(first, reportFor(g, nullptr, 1));
+    EXPECT_EQ(first, reportFor(g, nullptr, 3));
+
+    const mem::FaultPlan plan =
+        planFor(mem::FaultPlan::Kind::DropInvalidate);
+    const std::string inject = reportFor(g, &plan, 1);
+    EXPECT_EQ(inject, reportFor(g, &plan, 1));
+    EXPECT_EQ(inject, reportFor(g, &plan, 3));
+    EXPECT_NE(first, inject);
+}
+
+TEST(ExploreDeterminism, ViolatingScheduleIdenticalAcrossJobs)
+{
+    const Geometry g;
+    const mem::FaultPlan plan =
+        planFor(mem::FaultPlan::Kind::KeepOwnerOnSnoop);
+    explore::ExploreOptions one;
+    one.jobs = 1;
+    explore::ExploreOptions three;
+    three.jobs = 3;
+    const explore::ExploreResult a = run(g, &plan, one);
+    const explore::ExploreResult b = run(g, &plan, three);
+    ASSERT_TRUE(a.foundViolation);
+    ASSERT_TRUE(b.foundViolation);
+    const trace::TraceHeader header =
+        explore::exploreHeader(g.cpus, g.cpusPerL2, g.seed);
+    EXPECT_EQ(check::encodeTrace(header, a.schedule),
+              check::encodeTrace(header, b.schedule));
+    EXPECT_EQ(check::encodeTrace(header, a.repro),
+              check::encodeTrace(header, b.repro));
+}
+
+// ---------------------------------------------------------------------
+// Trace integration: explorer schedules are standard .mst traces.
+// ---------------------------------------------------------------------
+
+TEST(ExploreTrace, ReproRoundTripsThroughTraceReader)
+{
+    const Geometry g;
+    const mem::FaultPlan plan =
+        planFor(mem::FaultPlan::Kind::SkipL1BackInvalidate);
+    const explore::ExploreResult r = run(g, &plan);
+    ASSERT_TRUE(r.foundViolation);
+
+    const trace::TraceHeader header =
+        explore::exploreHeader(g.cpus, g.cpusPerL2, g.seed);
+    const std::string bytes = check::encodeTrace(header, r.repro);
+    trace::TraceReader reader(bytes);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    const std::vector<trace::TraceRecord> records =
+        check::collectRecords(reader);
+    ASSERT_TRUE(reader.complete()) << reader.error();
+    ASSERT_EQ(records.size(), r.repro.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].ref.cpu, r.repro[i].ref.cpu);
+        EXPECT_EQ(records[i].ref.addr, r.repro[i].ref.addr);
+        EXPECT_EQ(records[i].ref.type, r.repro[i].ref.type);
+        EXPECT_EQ(records[i].tick, r.repro[i].tick);
+    }
+    EXPECT_EQ(check::violatedInvariant(reader.header(), records,
+                                       &plan),
+              r.invariant);
+}
+
+TEST(ExploreTrace, SchedulerTicksAreDeterministic)
+{
+    const trace::TraceHeader header = explore::exploreHeader(2, 1, 1);
+    const explore::Streams streams = explore::makeStreams(2, 2, 6, 1);
+    explore::ExploreScheduler sched(header, streams, nullptr);
+    sched.reset();
+    std::size_t step = 0;
+    for (unsigned round = 0; round < 3; ++round) {
+        for (unsigned cpu = 0; cpu < 2; ++cpu) {
+            ASSERT_TRUE(sched.hasNext(cpu));
+            sched.step(cpu);
+            ++step;
+        }
+    }
+    ASSERT_TRUE(sched.done());
+    const auto &records = sched.executed();
+    ASSERT_EQ(records.size(), step);
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i].tick,
+                  explore::ExploreScheduler::tickOf(i));
+}
