@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Coordinator/worker front end of the distributed experiment fabric.
+ *
+ *   middlesim-fabric run [--workers=N] [run_all flags...]
+ *       Run the full 13-figure campaign sharded over N local worker
+ *       processes (default: hardware concurrency). Equivalent to
+ *       `run_all --fabric=N ...`; stdout is byte-identical to a
+ *       single-process `run_all` for any N.
+ *
+ *   middlesim-fabric worker [run_all flags...]
+ *       Speak the worker side of middlesim-fabric-v1 on stdin/stdout.
+ *       Meant to be spawned by a coordinator — locally (the default
+ *       transport) or remotely, e.g.:
+ *         middlesim-fabric run --workers=4 \
+ *           --worker-cmd='ssh host middlesim-fabric worker \
+ *                         --cache-dir=/shared/cache'
+ *       A remote worker must share the coordinator's artifact plane
+ *       (the --cache-dir) and environment knobs, or its HELLO
+ *       queue-hash check will refuse the attachment.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/run_all.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s run [--workers=N] [--worker-cmd=CMD] "
+        "[run_all flags...]\n"
+        "       %s worker [run_all flags...]\n",
+        argv0, argv0);
+    return 2;
+}
+
+/** Re-enter runAllMain with a rewritten argv. */
+int
+delegate(const char *argv0, const std::vector<std::string> &args)
+{
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>(argv0));
+    for (const std::string &arg : args)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+    return middlesim::core::runAllMain(
+        static_cast<int>(argv.size()) - 1, argv.data());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string mode = argv[1];
+
+    // Raw run_all flags (notably the coordinator re-executing this
+    // binary with --fabric-worker) pass straight through.
+    if (mode.rfind("--", 0) == 0) {
+        std::vector<std::string> args;
+        for (int i = 1; i < argc; ++i)
+            args.push_back(argv[i]);
+        return delegate(argv[0], args);
+    }
+
+    if (mode == "worker") {
+        std::vector<std::string> args{"--fabric-worker"};
+        for (int i = 2; i < argc; ++i)
+            args.push_back(argv[i]);
+        return delegate(argv[0], args);
+    }
+
+    if (mode == "run") {
+        unsigned workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+        std::vector<std::string> args;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--workers=", 0) == 0) {
+                const long n =
+                    std::strtol(arg.c_str() + 10, nullptr, 10);
+                if (n < 1) {
+                    std::fprintf(stderr,
+                                 "middlesim-fabric: bad flag '%s' "
+                                 "(want --workers=N with N >= 1)\n",
+                                 arg.c_str());
+                    return 2;
+                }
+                workers = static_cast<unsigned>(n);
+            } else if (arg.rfind("--worker-cmd=", 0) == 0) {
+                args.push_back("--fabric-worker-cmd=" +
+                               arg.substr(13));
+            } else {
+                args.push_back(arg);
+            }
+        }
+        args.insert(args.begin(),
+                    "--fabric=" + std::to_string(workers));
+        return delegate(argv[0], args);
+    }
+
+    return usage(argv[0]);
+}

@@ -449,7 +449,8 @@ RunCache::fetch(const std::string &kind, const std::string &key,
             return true;
         }
     }
-    if (loadDisk(kind, key, payload)) {
+    const DiskLoad disk = loadDisk(kind, key, payload);
+    if (disk == DiskLoad::Hit) {
         std::lock_guard<std::mutex> lock(mutex_);
         memo_[{kind, key}] = payload;
         ++stats_.diskHits;
@@ -457,6 +458,8 @@ RunCache::fetch(const std::string &kind, const std::string &key,
     }
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.misses;
+    if (disk == DiskLoad::Corrupt)
+        ++stats_.corruptMisses;
     return false;
 }
 
@@ -493,36 +496,39 @@ RunCache::resetStats()
     stats_ = Stats{};
 }
 
-bool
+RunCache::DiskLoad
 RunCache::loadDisk(const std::string &kind, const std::string &key,
                    std::string &payload) const
 {
     const std::string dir = diskDir();
     if (dir.empty())
-        return false;
+        return DiskLoad::Absent;
 
     const std::string path = dir + "/" + cacheFileName(kind, key);
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        return false;
+        return DiskLoad::Absent;
     std::ostringstream buf;
     buf << is.rdbuf();
     const std::string file = buf.str();
 
     // Any malformed content — wrong schema, foreign kind/key (hash
     // collision), truncation, checksum mismatch, trailing garbage —
-    // degrades to a miss.
+    // degrades to a miss; the subsequent store() rewrites the entry
+    // atomically (miss-and-rewrite). The file is NOT unlinked here: a
+    // concurrent writer may be about to rename a good entry into
+    // place, and removal could race against it.
     sim::ByteReader r(file);
     if (r.str() != cacheSchemaVersion || r.str() != kind ||
         r.str() != key) {
-        return false;
+        return DiskLoad::Corrupt;
     }
     std::string data = r.str();
     const std::uint64_t checksum = r.u64();
     if (!r.atEnd() || checksum != sim::fnv1a64(data))
-        return false;
+        return DiskLoad::Corrupt;
     payload = std::move(data);
-    return true;
+    return DiskLoad::Hit;
 }
 
 void

@@ -101,14 +101,30 @@ class RunCache
         std::uint64_t diskHits = 0;
         std::uint64_t misses = 0;
         std::uint64_t stores = 0;
+        /**
+         * Misses where a disk entry existed but failed validation
+         * (truncated write observed mid-read by another process,
+         * checksum mismatch, foreign schema). The caller re-simulates
+         * and store() atomically rewrites the entry, so a corrupt
+         * artifact heals on the next touch — the fabric relies on
+         * this to share one artifact plane between processes.
+         */
+        std::uint64_t corruptMisses = 0;
     };
 
     Stats stats() const;
     void resetStats();
 
   private:
-    bool loadDisk(const std::string &kind, const std::string &key,
-                  std::string &payload) const;
+    enum class DiskLoad
+    {
+        Hit,
+        Absent,
+        Corrupt,
+    };
+
+    DiskLoad loadDisk(const std::string &kind, const std::string &key,
+                      std::string &payload) const;
     void storeDisk(const std::string &kind, const std::string &key,
                    const std::string &payload) const;
 

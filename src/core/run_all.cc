@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -17,6 +18,8 @@
 #include "core/metrics_io.hh"
 #include "core/report.hh"
 #include "core/trace_run.hh"
+#include "fabric/coordinator.hh"
+#include "fabric/worker.hh"
 #include "sim/log.hh"
 #include "sim/metrics.hh"
 #include "sim/threadpool.hh"
@@ -26,14 +29,6 @@ namespace middlesim::core
 
 namespace
 {
-
-/** One leaf simulation a figure needs, addressed for deduplication. */
-struct WorkItem
-{
-    /** Content address: "<kind>:<canonical spec key>". */
-    std::string id;
-    std::function<void()> run;
-};
 
 struct FigureJob
 {
@@ -49,13 +44,29 @@ constexpr FigureJob kFigures[] = {
     {"fig16", runFig16},
 };
 
+/**
+ * A RESULT payload is the item's per-run MetricSnapshot (the figure
+ * data itself travels through the shared disk RunCache, not through
+ * the protocol).
+ */
+std::string
+packSnapshot(const sim::MetricSnapshot &snap)
+{
+    sim::ByteWriter w;
+    encodeSnapshot(w, snap);
+    return w.take();
+}
+
 void
-addGridItems(std::vector<WorkItem> &items,
+addGridItems(std::vector<fabric::FabricItem> &items,
              const std::vector<ExperimentSpec> &specs)
 {
     for (const ExperimentSpec &spec : specs) {
-        items.push_back({"run:" + encodeSpecKey(spec),
-                         [spec] { cachedRunExperiment(spec); }});
+        items.push_back({"run:" + encodeSpecKey(spec), [spec] {
+            const RunResult r = cachedRunExperiment(spec);
+            return packSnapshot(r.metrics ? *r.metrics
+                                          : sim::MetricSnapshot{});
+        }});
     }
 }
 
@@ -64,42 +75,54 @@ addGridItems(std::vector<WorkItem> &items,
  * addresses, so identical points requested by different figures
  * collapse to one unit of work.
  */
-std::vector<WorkItem>
+std::vector<fabric::FabricItem>
 figureWork(const std::string &fig, const FigureOptions &opt)
 {
-    std::vector<WorkItem> items;
+    std::vector<fabric::FabricItem> items;
     if (fig >= "fig04" && fig <= "fig09") {
         addGridItems(items, scalingGridSpecs(opt));
     } else if (fig == "fig10") {
-        items.push_back(
-            {"fig10:", [opt] { cachedFig10Data(opt); }});
+        items.push_back({"fig10:", [opt] {
+            return packSnapshot(cachedFig10Data(opt).snap);
+        }});
     } else if (fig == "fig11") {
         for (unsigned s : fig11JbbScales()) {
             items.push_back({"live:jbb:" + std::to_string(s), [s, opt] {
-                cachedLivePoint(WorkloadKind::SpecJbb, s, opt);
+                return packSnapshot(
+                    cachedLivePoint(WorkloadKind::SpecJbb, s, opt)
+                        .snap);
             }});
         }
         for (unsigned s : fig11EcperfScales()) {
             items.push_back({"live:ec:" + std::to_string(s), [s, opt] {
-                cachedLivePoint(WorkloadKind::Ecperf, s, opt);
+                return packSnapshot(
+                    cachedLivePoint(WorkloadKind::Ecperf, s, opt)
+                        .snap);
             }});
         }
     } else if (fig == "fig12" || fig == "fig13") {
         items.push_back({"sweep:ec:8", [opt] {
-            cachedSweepOutcome(WorkloadKind::Ecperf, 8, opt);
+            return packSnapshot(
+                cachedSweepOutcome(WorkloadKind::Ecperf, 8, opt).snap);
         }});
         for (unsigned s : {1u, 10u, 25u}) {
             items.push_back({"sweep:jbb:" + std::to_string(s),
                              [s, opt] {
-                cachedSweepOutcome(WorkloadKind::SpecJbb, s, opt);
+                return packSnapshot(
+                    cachedSweepOutcome(WorkloadKind::SpecJbb, s, opt)
+                        .snap);
             }});
         }
     } else if (fig == "fig14" || fig == "fig15") {
         items.push_back({"comm:jbb:15:15", [opt] {
-            cachedCommFootprint(WorkloadKind::SpecJbb, 15, 15, opt);
+            return packSnapshot(
+                cachedCommFootprint(WorkloadKind::SpecJbb, 15, 15, opt)
+                    .snap);
         }});
         items.push_back({"comm:ec:8:8", [opt] {
-            cachedCommFootprint(WorkloadKind::Ecperf, 8, 8, opt);
+            return packSnapshot(
+                cachedCommFootprint(WorkloadKind::Ecperf, 8, 8, opt)
+                    .snap);
         }});
     } else if (fig == "fig16") {
         addGridItems(items, fig16GridSpecs(opt));
@@ -107,9 +130,20 @@ figureWork(const std::string &fig, const FigureOptions &opt)
     return items;
 }
 
+/** Fabric-mode figures folded into the stats JSON and stderr log. */
+struct FabricSummary
+{
+    unsigned workersRequested = 0;
+    fabric::FabricStats stats;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t decodeFailures = 0;
+};
+
 void
 writeStatsJson(std::ostream &os, std::uint64_t requested,
-               std::uint64_t unique, double prefetch_seconds)
+               std::uint64_t unique, double prefetch_seconds,
+               const FabricSummary *fab)
 {
     const RunCache::Stats cs = RunCache::global().stats();
     const GridDedupeStats gs = gridDedupeStats();
@@ -130,15 +164,73 @@ writeStatsJson(std::ostream &os, std::uint64_t requested,
        << "  \"cache_memory_hits\": " << cs.memoryHits << ",\n"
        << "  \"cache_disk_hits\": " << cs.diskHits << ",\n"
        << "  \"cache_misses\": " << cs.misses << ",\n"
-       << "  \"cache_stores\": " << cs.stores << ",\n"
-       << "  \"jobs_used\": " << sim::ThreadPool::global().jobs()
+       << "  \"cache_corrupt_misses\": " << cs.corruptMisses << ",\n"
+       << "  \"cache_stores\": " << cs.stores << ",\n";
+    if (fab) {
+        const fabric::FabricStats &fs = fab->stats;
+        os << "  \"fabric\": {\n"
+           << "    \"workers_requested\": " << fab->workersRequested
+           << ",\n"
+           << "    \"workers_spawned\": " << fs.workersSpawned
+           << ",\n"
+           << "    \"executed\": " << fs.executed << ",\n"
+           << "    \"inline_runs\": " << fs.inlineRuns << ",\n"
+           << "    \"requeues\": " << fs.requeues << ",\n"
+           << "    \"stale_results\": " << fs.staleResults << ",\n"
+           << "    \"duplicate_results\": " << fs.duplicateResults
+           << ",\n"
+           << "    \"worker_deaths\": " << fs.workerDeaths << ",\n"
+           << "    \"worker_seconds\": "
+           << sim::formatDouble(fs.workerSeconds) << ",\n"
+           << "    \"result_decode_failures\": "
+           << fab->decodeFailures << ",\n"
+           << "    \"cache_hits\": " << fab->cacheHits << ",\n"
+           << "    \"cache_misses\": " << fab->cacheMisses << ",\n"
+           << "    \"cache_requeues\": " << fs.requeues << "\n"
+           << "  },\n";
+    }
+    os << "  \"jobs_used\": " << sim::ThreadPool::global().jobs()
        << ",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << "\n"
        << "}\n";
 }
 
+/** mkdtemp() a throwaway artifact-plane directory for --fabric. */
+std::string
+makeTempCacheDir()
+{
+    std::error_code ec;
+    std::filesystem::path base =
+        std::filesystem::temp_directory_path(ec);
+    if (ec)
+        base = "/tmp";
+    std::string templ = (base / "middlesim-fabric-XXXXXX").string();
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+        fatal("run_all: cannot create fabric cache dir '", templ,
+              "'");
+    }
+    return std::string(buf.data());
+}
+
 } // namespace
+
+RunAllQueue
+buildRunAllQueue(const FigureOptions &opt)
+{
+    RunAllQueue queue;
+    std::set<std::string> seen;
+    for (const FigureJob &job : kFigures) {
+        for (fabric::FabricItem &item : figureWork(job.id, opt)) {
+            ++queue.requested;
+            if (seen.insert(item.id).second)
+                queue.items.push_back(std::move(item));
+        }
+    }
+    return queue;
+}
 
 int
 runAllMain(int argc, char **argv)
@@ -148,7 +240,11 @@ runAllMain(int argc, char **argv)
     std::string cache_dir;
     std::string trace_out;
     std::string trace_in;
+    std::string fabric_worker_cmd;
+    std::string fabric_metrics_out;
     bool no_cache = false;
+    bool fabric_worker = false;
+    unsigned fabric_workers = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--jobs=", 0) == 0) {
@@ -186,13 +282,52 @@ runAllMain(int argc, char **argv)
             no_cache = true;
         } else if (arg == "--check") {
             check::setCheckingEnabled(true);
+        } else if (arg.rfind("--fabric=", 0) == 0) {
+            const long n = std::strtol(arg.c_str() + 9, nullptr, 10);
+            if (n < 1)
+                fatal("run_all: bad flag '", arg,
+                      "' (want --fabric=N with N >= 1)");
+            fabric_workers = static_cast<unsigned>(n);
+        } else if (arg == "--fabric-worker") {
+            fabric_worker = true;
+        } else if (arg.rfind("--fabric-worker-cmd=", 0) == 0) {
+            fabric_worker_cmd = arg.substr(20);
+            if (fabric_worker_cmd.empty())
+                fatal("run_all: bad flag '", arg,
+                      "' (want --fabric-worker-cmd=CMD)");
+        } else if (arg.rfind("--fabric-metrics-out=", 0) == 0) {
+            fabric_metrics_out = arg.substr(21);
+            if (fabric_metrics_out.empty())
+                fatal("run_all: bad flag '", arg,
+                      "' (want --fabric-metrics-out=PATH)");
         } else {
             fatal("run_all: unknown flag '", arg,
                   "' (supported: --jobs=N, --metrics-dir=DIR, "
                   "--stats-out=PATH, --cache-dir=PATH, --no-cache, "
-                  "--check, --trace-out=DIR, --trace-in=DIR)");
+                  "--check, --trace-out=DIR, --trace-in=DIR, "
+                  "--fabric=N, --fabric-worker, "
+                  "--fabric-worker-cmd=CMD, "
+                  "--fabric-metrics-out=PATH)");
         }
     }
+    if (fabric_workers > 0 && fabric_worker)
+        fatal("run_all: --fabric=N and --fabric-worker are mutually "
+              "exclusive (the coordinator spawns workers itself)");
+    if (fabric_workers > 0 &&
+        (no_cache || check::checkingEnabled())) {
+        fatal("run_all: --fabric needs the disk cache as its shared "
+              "artifact plane; it cannot combine with --no-cache or "
+              "--check");
+    }
+    if (fabric_workers > 0 &&
+        (!trace_out.empty() || !trace_in.empty())) {
+        fatal("run_all: --fabric does not combine with --trace-out/"
+              "--trace-in (trace recording is per-process)");
+    }
+    if (fabric_workers == 0 && !fabric_worker_cmd.empty())
+        fatal("run_all: --fabric-worker-cmd requires --fabric=N");
+    if (fabric_workers == 0 && !fabric_metrics_out.empty())
+        fatal("run_all: --fabric-metrics-out requires --fabric=N");
     // A cached result was produced without the checkers watching;
     // checking is only meaningful for runs that actually execute.
     if (check::checkingEnabled())
@@ -202,18 +337,21 @@ runAllMain(int argc, char **argv)
 
     const FigureOptions opt = FigureOptions::fromEnv();
 
+    // Worker side of the fabric: same queue, leases in on stdin,
+    // results out on stdout. Everything else about this process is
+    // driven by the coordinator.
+    if (fabric_worker) {
+        RunAllQueue queue = buildRunAllQueue(opt);
+        fabric::FabricOptions fopt;
+        fopt.applyEnv();
+        return fabric::runWorker(queue.items, fopt.heartbeatMs);
+    }
+
     // Global work queue: every leaf every figure needs, deduplicated
     // by content address.
-    std::vector<WorkItem> unique_items;
-    std::set<std::string> seen;
-    std::uint64_t requested = 0;
-    for (const FigureJob &job : kFigures) {
-        for (WorkItem &item : figureWork(job.id, opt)) {
-            ++requested;
-            if (seen.insert(item.id).second)
-                unique_items.push_back(std::move(item));
-        }
-    }
+    RunAllQueue queue = buildRunAllQueue(opt);
+    std::vector<fabric::FabricItem> &unique_items = queue.items;
+    const std::uint64_t requested = queue.requested;
     std::fprintf(stderr,
                  "run_all: %llu leaf points requested by 13 figures, "
                  "%zu unique after dedupe (jobs=%u)\n",
@@ -221,21 +359,96 @@ runAllMain(int argc, char **argv)
                  unique_items.size(),
                  sim::ThreadPool::global().jobs());
 
-    // Prefetch: one flat fan-out over the unique points. Leaf tasks
-    // never submit nested pool work, so this cannot deadlock.
+    FabricSummary fab;
+    sim::MetricSnapshot fabric_merged;
+    std::string temp_cache_dir;
     const auto t_start = std::chrono::steady_clock::now();
-    sim::ThreadPool::global().parallelFor(
-        unique_items.size(),
-        [&](std::size_t i) { unique_items[i].run(); });
+    if (fabric_workers > 0) {
+        // Sharded prefetch: the workers execute the queue and persist
+        // artifacts into the shared disk cache; RESULT frames carry
+        // only the per-item metric snapshots merged below.
+        std::string disk = RunCache::global().diskDir();
+        if (disk.empty()) {
+            temp_cache_dir = makeTempCacheDir();
+            disk = temp_cache_dir;
+            RunCache::global().setDiskDir(disk);
+        }
+        fabric::FabricOptions fopt;
+        fopt.workers = fabric_workers;
+        fopt.applyEnv();
+        if (!fabric_worker_cmd.empty()) {
+            fopt.workerCommand = fabric_worker_cmd;
+        } else {
+            fopt.workerArgv = {fabric::selfExePath(),
+                               "--fabric-worker",
+                               "--cache-dir=" + disk};
+        }
+        std::fprintf(stderr,
+                     "run_all: fabric: %u worker(s), artifact plane "
+                     "'%s'\n",
+                     fabric_workers, disk.c_str());
+
+        std::vector<std::string> payloads(unique_items.size());
+        std::vector<char> have(unique_items.size(), 0);
+        fab.workersRequested = fabric_workers;
+        fab.stats = fabric::runCoordinator(
+            unique_items, fopt,
+            [&](std::size_t index, const std::string &payload) {
+                payloads[index] = payload;
+                have[index] = 1;
+            });
+
+        // Merge in index order: byte-identical regardless of which
+        // worker finished which item when.
+        for (std::size_t i = 0; i < payloads.size(); ++i) {
+            if (!have[i]) {
+                ++fab.decodeFailures;
+                continue;
+            }
+            sim::ByteReader r(payloads[i]);
+            const sim::MetricSnapshot snap = decodeSnapshot(r);
+            if (!r.atEnd()) {
+                ++fab.decodeFailures;
+                continue;
+            }
+            fabric_merged.merge(snap);
+        }
+    } else {
+        // Prefetch: one flat fan-out over the unique points. Leaf
+        // tasks never submit nested pool work, so this cannot
+        // deadlock.
+        sim::ThreadPool::global().parallelFor(
+            unique_items.size(),
+            [&](std::size_t i) { unique_items[i].run(); });
+    }
     const double prefetch_seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t_start)
             .count();
-    std::fprintf(stderr, "run_all: prefetch done in %.2f s\n",
-                 prefetch_seconds);
+    if (fabric_workers > 0) {
+        std::fprintf(stderr,
+                     "run_all: fabric: %llu on workers, %llu inline, "
+                     "%llu requeued, %llu worker death(s) in %.2f s\n",
+                     static_cast<unsigned long long>(
+                         fab.stats.executed),
+                     static_cast<unsigned long long>(
+                         fab.stats.inlineRuns),
+                     static_cast<unsigned long long>(
+                         fab.stats.requeues),
+                     static_cast<unsigned long long>(
+                         fab.stats.workerDeaths),
+                     prefetch_seconds);
+    } else {
+        std::fprintf(stderr, "run_all: prefetch done in %.2f s\n",
+                     prefetch_seconds);
+    }
 
     // Render every figure (now assembled from memo hits), emitting
-    // exactly what the individual drivers would print.
+    // exactly what the individual drivers would print. In fabric mode
+    // the artifacts come off the shared disk cache, so stdout is
+    // deterministic for any worker count, loss, or arrival order.
+    const RunCache::Stats cs_before_render =
+        RunCache::global().stats();
     bool all_pass = true;
     for (const FigureJob &job : kFigures) {
         const FigureResult fig = job.harness(opt);
@@ -252,6 +465,36 @@ runAllMain(int argc, char **argv)
         }
     }
 
+    if (fabric_workers > 0) {
+        // The fabric.cache.* family: how the coordinator's render
+        // phase fared against the artifact plane the workers filled.
+        const RunCache::Stats cs = RunCache::global().stats();
+        fab.cacheHits = (cs.memoryHits + cs.diskHits) -
+                        (cs_before_render.memoryHits +
+                         cs_before_render.diskHits);
+        fab.cacheMisses = cs.misses - cs_before_render.misses;
+        sim::MetricRegistry fabric_registry;
+        fabric_registry.counter("fabric.cache.hits")
+            .set(fab.cacheHits);
+        fabric_registry.counter("fabric.cache.misses")
+            .set(fab.cacheMisses);
+        fabric_registry.counter("fabric.cache.requeues")
+            .set(fab.stats.requeues);
+        fabric_merged.merge(fabric_registry.snapshot());
+    }
+
+    if (!fabric_metrics_out.empty()) {
+        std::ofstream os(fabric_metrics_out);
+        if (!os)
+            fatal("run_all: cannot open '", fabric_metrics_out,
+                  "' for writing");
+        os << "{\n  \"schema\": \"middlesim-fabric-metrics-v1\",\n"
+           << "  \"items\": " << unique_items.size() << ",\n"
+           << "  \"merged\":\n";
+        fabric_merged.writeJson(os, 2);
+        os << "\n}\n";
+    }
+
     if (!stats_out.empty()) {
         std::ofstream os(stats_out);
         if (!os)
@@ -259,7 +502,13 @@ runAllMain(int argc, char **argv)
                   "' for writing");
         writeStatsJson(os, requested,
                        static_cast<std::uint64_t>(unique_items.size()),
-                       prefetch_seconds);
+                       prefetch_seconds,
+                       fabric_workers > 0 ? &fab : nullptr);
+    }
+
+    if (!temp_cache_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(temp_cache_dir, ec);
     }
     return all_pass ? 0 : 1;
 }

@@ -1,0 +1,412 @@
+#include "fabric/json.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/metrics.hh"
+
+namespace middlesim::fabric
+{
+
+namespace
+{
+
+/** Hostile-input backstop: deeper nesting than any legal frame. */
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &error)
+    {
+        skipWs();
+        if (!value(out, 0)) {
+            error = error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = "json: trailing garbage at byte " +
+                    std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            error_ = "json: " + what + " at byte " +
+                     std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("unrecognized token");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    hex4(std::uint32_t &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                return fail("truncated \\u escape");
+            const char c = text_[pos_];
+            std::uint32_t d;
+            if (c >= '0' && c <= '9')
+                d = static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                d = static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                d = static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape digit");
+            out = (out << 4) | d;
+            ++pos_;
+        }
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        // Caller consumed the opening quote.
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                --pos_;
+                return fail("raw control character in string");
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("truncated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                std::uint32_t cp;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdfff) {
+                    // The protocol never emits astral-plane text;
+                    // reject surrogates instead of pairing them.
+                    return fail("surrogate \\u escape unsupported");
+                }
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+            }
+            default:
+                pos_ -= 1;
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    number(double &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            const std::size_t before = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+            return pos_ > before;
+        };
+        const std::size_t int_start = pos_;
+        if (!digits())
+            return fail("malformed number");
+        if (pos_ - int_start > 1 && text_[int_start] == '0') {
+            pos_ = int_start;
+            return fail("leading zero in number");
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits())
+                return fail("malformed number fraction");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (!digits())
+                return fail("malformed number exponent");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        out = std::strtod(token.c_str(), nullptr);
+        if (!std::isfinite(out)) {
+            pos_ = start;
+            return fail("non-finite number");
+        }
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than 64");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        switch (c) {
+        case '{': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != '"')
+                    return fail("expected object key");
+                ++pos_;
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                skipWs();
+                JsonValue member;
+                if (!value(member, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(member));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        case '[': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                JsonValue element;
+                if (!value(element, depth + 1))
+                    return false;
+                out.elements.push_back(std::move(element));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        case '"':
+            ++pos_;
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        default:
+            out.kind = JsonValue::Kind::Number;
+            return number(out.number);
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+void
+writeValue(const JsonValue &v, std::string &out)
+{
+    switch (v.kind) {
+    case JsonValue::Kind::Null:
+        out += "null";
+        break;
+    case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+    case JsonValue::Kind::Number:
+        out += sim::formatDouble(v.number);
+        break;
+    case JsonValue::Kind::String:
+        out += '"';
+        out += sim::jsonEscape(v.text);
+        out += '"';
+        break;
+    case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, member] : v.members) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += sim::jsonEscape(key);
+            out += "\":";
+            writeValue(member, out);
+        }
+        out += '}';
+        break;
+    }
+    case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &e : v.elements) {
+            if (!first)
+                out += ',';
+            first = false;
+            writeValue(e, out);
+        }
+        out += ']';
+        break;
+    }
+    }
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, member] : members) {
+        if (name == key)
+            return &member;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::strOr(std::string_view key, std::string def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::String ? v->text : std::move(def);
+}
+
+double
+JsonValue::numOr(std::string_view key, double def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::Number ? v->number : def;
+}
+
+std::uint64_t
+JsonValue::u64Or(std::string_view key, std::uint64_t def) const
+{
+    const JsonValue *v = find(key);
+    if (!v || v->kind != Kind::Number || v->number < 0)
+        return def;
+    return static_cast<std::uint64_t>(v->number);
+}
+
+bool
+JsonValue::boolOr(std::string_view key, bool def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::Bool ? v->boolean : def;
+}
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string &error)
+{
+    out = JsonValue{};
+    return Parser(text).parse(out, error);
+}
+
+std::string
+writeJson(const JsonValue &v)
+{
+    std::string out;
+    writeValue(v, out);
+    return out;
+}
+
+} // namespace middlesim::fabric

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal JSON document model for the fabric wire protocol.
+ *
+ * The repo already *writes* JSON everywhere (metrics, stats); the
+ * coordinator/worker protocol is the first place it must *read* some.
+ * This is a deliberately small, strict RFC 8259 subset parser: every
+ * failure is reported with the absolute byte offset of the fault (the
+ * same discipline as the trace reader), nesting depth is bounded, and
+ * a parsed value is a plain tree — no allocation is ever sized by
+ * unvalidated input.
+ */
+
+#ifndef FABRIC_JSON_HH
+#define FABRIC_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace middlesim::fabric
+{
+
+/** One parsed JSON value (tagged tree; objects keep member order). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::vector<JsonValue> elements;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Typed member getters with defaults (absent/mistyped = def). */
+    std::string strOr(std::string_view key, std::string def) const;
+    double numOr(std::string_view key, double def) const;
+    std::uint64_t u64Or(std::string_view key, std::uint64_t def) const;
+    bool boolOr(std::string_view key, bool def) const;
+};
+
+/**
+ * Parse one JSON document (the whole of `text`; trailing bytes are an
+ * error). @return false and fill `error` — always naming a byte
+ * offset — on malformed input.
+ */
+bool parseJson(std::string_view text, JsonValue &out,
+               std::string &error);
+
+/** Compact serialization (members in stored order). */
+std::string writeJson(const JsonValue &v);
+
+} // namespace middlesim::fabric
+
+#endif // FABRIC_JSON_HH

@@ -1,0 +1,111 @@
+#include "fabric/lease.hh"
+
+#include <algorithm>
+
+namespace middlesim::fabric
+{
+
+LeaseTable::LeaseTable(std::size_t items, unsigned max_requeues)
+    : items_(items), maxRequeues_(max_requeues)
+{
+}
+
+std::optional<LeaseTable::Lease>
+LeaseTable::acquire(int worker)
+{
+    for (std::size_t i = scan_; i < items_.size(); ++i) {
+        Item &item = items_[i];
+        if (item.state != State::Pending)
+            continue;
+        if (item.requeues > maxRequeues_)
+            continue; // poisoned: inline fallback only
+        item.state = State::Leased;
+        item.worker = worker;
+        ++item.epoch;
+        if (i == scan_)
+            ++scan_;
+        return Lease{i, item.epoch};
+    }
+    return std::nullopt;
+}
+
+LeaseTable::Outcome
+LeaseTable::complete(std::size_t index, std::uint64_t epoch)
+{
+    Item &item = items_[index];
+    if (item.state == State::Done) {
+        ++duplicates_;
+        return Outcome::Duplicate;
+    }
+    if (item.epoch != epoch) {
+        ++stale_;
+        return Outcome::Stale;
+    }
+    item.state = State::Done;
+    item.worker = -1;
+    ++done_;
+    return Outcome::Accepted;
+}
+
+void
+LeaseTable::fail(std::size_t index, std::uint64_t epoch)
+{
+    Item &item = items_[index];
+    if (item.state != State::Leased || item.epoch != epoch) {
+        ++stale_;
+        return;
+    }
+    item.state = State::Pending;
+    item.worker = -1;
+    ++item.epoch;
+    ++item.requeues;
+    ++requeues_;
+    scan_ = std::min(scan_, index);
+}
+
+std::vector<std::size_t>
+LeaseTable::releaseWorker(int worker)
+{
+    std::vector<std::size_t> requeued;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        Item &item = items_[i];
+        if (item.state != State::Leased || item.worker != worker)
+            continue;
+        item.state = State::Pending;
+        item.worker = -1;
+        // Invalidate the dead lease right now — a zombie's late
+        // RESULT must read as stale even before the re-lease.
+        ++item.epoch;
+        ++item.requeues;
+        ++requeues_;
+        requeued.push_back(i);
+        scan_ = std::min(scan_, i);
+    }
+    return requeued;
+}
+
+bool
+LeaseTable::hasLeasable() const
+{
+    for (std::size_t i = scan_; i < items_.size(); ++i) {
+        const Item &item = items_[i];
+        if (item.state == State::Pending &&
+            item.requeues <= maxRequeues_) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::size_t>
+LeaseTable::unfinished() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (items_[i].state != State::Done)
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace middlesim::fabric

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lease table: the sharded work-queue state machine of the fabric.
+ *
+ * Every item of the canonical deduplicated work queue is Pending,
+ * Leased, or Done. Leasing an item stamps it with a fresh *epoch*;
+ * requeuing (worker death, heartbeat timeout) bumps the epoch, so a
+ * RESULT from a zombie's stale lease is recognizably late and is
+ * dropped — the same item completed under a newer epoch is the only
+ * accepted outcome. Items that keep killing workers stop being leased
+ * after `maxRequeues` and are left for the coordinator's inline
+ * fallback, so one poisoned point can never wedge the whole campaign.
+ *
+ * The table is single-threaded (the coordinator event loop owns it);
+ * it carries no I/O so every transition is unit-testable.
+ */
+
+#ifndef FABRIC_LEASE_HH
+#define FABRIC_LEASE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace middlesim::fabric
+{
+
+class LeaseTable
+{
+  public:
+    explicit LeaseTable(std::size_t items, unsigned max_requeues = 3);
+
+    struct Lease
+    {
+        std::size_t index = 0;
+        std::uint64_t epoch = 0;
+    };
+
+    enum class Outcome
+    {
+        /** First completion under the current epoch. */
+        Accepted,
+        /** Epoch mismatch: the lease was requeued after the sender
+         *  was declared dead; the result is dropped. */
+        Stale,
+        /** Item already completed (double delivery). */
+        Duplicate,
+    };
+
+    /**
+     * Lease the next pending item to `worker` (lowest index first).
+     * @return nullopt when nothing leasable remains (done, leased
+     * elsewhere, or over the requeue cap).
+     */
+    std::optional<Lease> acquire(int worker);
+
+    /** A RESULT for (index, epoch) arrived. */
+    Outcome complete(std::size_t index, std::uint64_t epoch);
+
+    /**
+     * A live worker reported the item failed (ok=false RESULT):
+     * requeue it under a bumped epoch, against the same budget as a
+     * death-requeue. Stale failures are ignored.
+     */
+    void fail(std::size_t index, std::uint64_t epoch);
+
+    /**
+     * `worker` died or timed out: every item it holds goes back to
+     * Pending under a bumped epoch. @return the requeued indices.
+     */
+    std::vector<std::size_t> releaseWorker(int worker);
+
+    bool allDone() const { return done_ == items_.size(); }
+    std::size_t doneCount() const { return done_; }
+    std::size_t size() const { return items_.size(); }
+
+    /** True when acquire() can still hand out work. */
+    bool hasLeasable() const;
+
+    /** Everything not Done (leased-to-the-dead included), for the
+     *  inline fallback. Caller must only use this once no workers
+     *  remain. */
+    std::vector<std::size_t> unfinished() const;
+
+    std::uint64_t requeues() const { return requeues_; }
+    std::uint64_t staleResults() const { return stale_; }
+    std::uint64_t duplicateResults() const { return duplicates_; }
+
+  private:
+    enum class State
+    {
+        Pending,
+        Leased,
+        Done,
+    };
+
+    struct Item
+    {
+        State state = State::Pending;
+        std::uint64_t epoch = 0;
+        int worker = -1;
+        unsigned requeues = 0;
+    };
+
+    std::vector<Item> items_;
+    unsigned maxRequeues_;
+    std::size_t done_ = 0;
+    /** Scan start hint: everything below is never Pending. */
+    std::size_t scan_ = 0;
+    std::uint64_t requeues_ = 0;
+    std::uint64_t stale_ = 0;
+    std::uint64_t duplicates_ = 0;
+};
+
+} // namespace middlesim::fabric
+
+#endif // FABRIC_LEASE_HH

@@ -1,0 +1,237 @@
+#include "fabric/protocol.hh"
+
+#include "fabric/json.hh"
+#include "sim/serialize.hh"
+
+namespace middlesim::fabric
+{
+
+namespace
+{
+
+JsonValue
+jstr(std::string s)
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    v.text = std::move(s);
+    return v;
+}
+
+JsonValue
+jnum(double n)
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = n;
+    return v;
+}
+
+JsonValue
+jbool(bool b)
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    v.boolean = b;
+    return v;
+}
+
+JsonValue
+object()
+{
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    return v;
+}
+
+bool
+wrong(std::string &error, const std::string &what)
+{
+    error = "frame: " + what;
+    return false;
+}
+
+} // namespace
+
+std::string
+encodeHello(const HelloFrame &f)
+{
+    JsonValue v = object();
+    v.members.emplace_back("type", jstr("hello"));
+    v.members.emplace_back("protocol", jstr(f.protocol));
+    v.members.emplace_back("role", jstr(f.role));
+    v.members.emplace_back("queue_hash", jstr(f.queueHash));
+    v.members.emplace_back("items",
+                           jnum(static_cast<double>(f.items)));
+    v.members.emplace_back("pid", jnum(static_cast<double>(f.pid)));
+    return writeJson(v);
+}
+
+std::string
+encodeLease(const LeaseFrame &f)
+{
+    JsonValue v = object();
+    v.members.emplace_back("type", jstr("lease"));
+    v.members.emplace_back("index",
+                           jnum(static_cast<double>(f.index)));
+    v.members.emplace_back("epoch",
+                           jnum(static_cast<double>(f.epoch)));
+    v.members.emplace_back("id_hash", jstr(f.idHash));
+    return writeJson(v);
+}
+
+std::string
+encodeResult(const ResultFrame &f)
+{
+    JsonValue v = object();
+    v.members.emplace_back("type", jstr("result"));
+    v.members.emplace_back("index",
+                           jnum(static_cast<double>(f.index)));
+    v.members.emplace_back("epoch",
+                           jnum(static_cast<double>(f.epoch)));
+    v.members.emplace_back("ok", jbool(f.ok));
+    if (!f.error.empty())
+        v.members.emplace_back("error", jstr(f.error));
+    v.members.emplace_back("seconds", jnum(f.seconds));
+    v.members.emplace_back("snap", jstr(toHex(f.payload)));
+    return writeJson(v);
+}
+
+std::string
+encodeHeartbeat(const HeartbeatFrame &f)
+{
+    JsonValue v = object();
+    v.members.emplace_back("type", jstr("heartbeat"));
+    v.members.emplace_back(
+        "busy", jnum(static_cast<double>(f.busyIndex)));
+    return writeJson(v);
+}
+
+std::string
+encodeBye(const ByeFrame &f)
+{
+    JsonValue v = object();
+    v.members.emplace_back("type", jstr("bye"));
+    v.members.emplace_back("results",
+                           jnum(static_cast<double>(f.results)));
+    return writeJson(v);
+}
+
+bool
+decodeFrame(std::string_view payload, Frame &out, std::string &error)
+{
+    JsonValue doc;
+    if (!parseJson(payload, doc, error))
+        return false;
+    if (doc.kind != JsonValue::Kind::Object)
+        return wrong(error, "payload is not a JSON object");
+
+    const std::string type = doc.strOr("type", "");
+    out = Frame{};
+    if (type == "hello") {
+        out.type = FrameType::Hello;
+        out.hello.protocol = doc.strOr("protocol", "");
+        out.hello.role = doc.strOr("role", "");
+        out.hello.queueHash = doc.strOr("queue_hash", "");
+        out.hello.items = doc.u64Or("items", 0);
+        out.hello.pid = doc.u64Or("pid", 0);
+        if (out.hello.protocol.empty())
+            return wrong(error, "hello missing 'protocol'");
+        return true;
+    }
+    if (type == "lease") {
+        out.type = FrameType::Lease;
+        if (!doc.find("index") || !doc.find("epoch"))
+            return wrong(error, "lease missing 'index'/'epoch'");
+        out.lease.index = doc.u64Or("index", 0);
+        out.lease.epoch = doc.u64Or("epoch", 0);
+        out.lease.idHash = doc.strOr("id_hash", "");
+        return true;
+    }
+    if (type == "result") {
+        out.type = FrameType::Result;
+        if (!doc.find("index") || !doc.find("epoch"))
+            return wrong(error, "result missing 'index'/'epoch'");
+        out.result.index = doc.u64Or("index", 0);
+        out.result.epoch = doc.u64Or("epoch", 0);
+        out.result.ok = doc.boolOr("ok", false);
+        out.result.error = doc.strOr("error", "");
+        out.result.seconds = doc.numOr("seconds", 0.0);
+        if (!fromHex(doc.strOr("snap", ""), out.result.payload))
+            return wrong(error, "result 'snap' is not valid hex");
+        return true;
+    }
+    if (type == "heartbeat") {
+        out.type = FrameType::Heartbeat;
+        out.heartbeat.busyIndex =
+            static_cast<std::int64_t>(doc.numOr("busy", -1.0));
+        return true;
+    }
+    if (type == "bye") {
+        out.type = FrameType::Bye;
+        out.bye.results = doc.u64Or("results", 0);
+        return true;
+    }
+    return wrong(error, "unknown frame type '" + type + "'");
+}
+
+std::string
+toHex(std::string_view bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (char c : bytes) {
+        const auto b = static_cast<std::uint8_t>(c);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+bool
+fromHex(std::string_view hex, std::string &out)
+{
+    out.clear();
+    if (hex.size() % 2 != 0)
+        return false;
+    out.reserve(hex.size() / 2);
+    auto nibble = [](char c, std::uint8_t &v) {
+        if (c >= '0' && c <= '9')
+            v = static_cast<std::uint8_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v = static_cast<std::uint8_t>(c - 'a' + 10);
+        else
+            return false;
+        return true;
+    };
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        std::uint8_t hi, lo;
+        if (!nibble(hex[i], hi) || !nibble(hex[i + 1], lo))
+            return false;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return true;
+}
+
+std::string
+queueHashHex(const std::vector<std::string> &ids)
+{
+    std::uint64_t h = sim::fnv1a64Init;
+    for (const std::string &id : ids) {
+        // Length-delimit so ("ab","c") never hashes like ("a","bc").
+        sim::ByteWriter w;
+        w.u64(id.size());
+        h = sim::fnv1a64Step(h, w.data());
+        h = sim::fnv1a64Step(h, id);
+    }
+    return sim::hashHex(h);
+}
+
+std::string
+idHashHex(const std::string &id)
+{
+    return sim::hashHex(sim::fnv1a64(id));
+}
+
+} // namespace middlesim::fabric

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The `middlesim-fabric-v1` wire protocol.
+ *
+ * Coordinator and worker exchange length-prefixed JSON frames (see
+ * sim::appendFrame / sim::FrameSplitter for the framing) over any
+ * byte pipe — the local pipes of a spawned worker, or an ssh/socat
+ * transport for a remote attach. Five frame types:
+ *
+ *   HELLO      both directions, first frame each way. Carries the
+ *              protocol version and the fnv1a64 hash of the canonical
+ *              work-queue ids; a mismatch on either side aborts the
+ *              session before any work is leased, so two builds that
+ *              would enumerate different (spec,seed) queues can never
+ *              silently exchange indices.
+ *   LEASE      coordinator -> worker: run item `index` under lease
+ *              `epoch`. Carries the item's id hash as a per-item
+ *              spec-key check on top of the queue hash.
+ *   RESULT     worker -> coordinator: item finished (ok or error),
+ *              echoing index+epoch, with an opaque hex payload (the
+ *              worker's encoded MetricSnapshot delta). Results whose
+ *              epoch is stale — the item was re-leased after the
+ *              sender was declared dead — are dropped.
+ *   HEARTBEAT  worker -> coordinator liveness while executing long
+ *              points; silence beyond the timeout re-leases the
+ *              worker's items.
+ *   BYE        orderly shutdown in either direction.
+ *
+ * Simulation payloads (RunResult and friends) never travel in frames:
+ * workers persist them into the shared content-addressed disk
+ * RunCache, which is the artifact plane; frames carry only control
+ * and merge-only metric deltas.
+ */
+
+#ifndef FABRIC_PROTOCOL_HH
+#define FABRIC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace middlesim::fabric
+{
+
+inline constexpr const char *protocolVersion = "middlesim-fabric-v1";
+
+enum class FrameType
+{
+    Hello,
+    Lease,
+    Result,
+    Heartbeat,
+    Bye,
+};
+
+struct HelloFrame
+{
+    std::string protocol;
+    /** "coordinator" or "worker". */
+    std::string role;
+    /** queueHashHex() of the sender's canonical work queue. */
+    std::string queueHash;
+    std::uint64_t items = 0;
+    std::uint64_t pid = 0;
+};
+
+struct LeaseFrame
+{
+    std::uint64_t index = 0;
+    std::uint64_t epoch = 0;
+    /** idHashHex() of the leased item (per-item spec-key check). */
+    std::string idHash;
+};
+
+struct ResultFrame
+{
+    std::uint64_t index = 0;
+    std::uint64_t epoch = 0;
+    bool ok = false;
+    std::string error;
+    double seconds = 0.0;
+    /** Opaque payload bytes (hex on the wire), already decoded. */
+    std::string payload;
+};
+
+struct HeartbeatFrame
+{
+    /** Item being executed, or -1 when idle. */
+    std::int64_t busyIndex = -1;
+};
+
+struct ByeFrame
+{
+    std::uint64_t results = 0;
+};
+
+/** One decoded frame (active member selected by `type`). */
+struct Frame
+{
+    FrameType type = FrameType::Bye;
+    HelloFrame hello;
+    LeaseFrame lease;
+    ResultFrame result;
+    HeartbeatFrame heartbeat;
+    ByeFrame bye;
+};
+
+/** Encoders: JSON payload text for one frame (not yet length-framed). */
+std::string encodeHello(const HelloFrame &f);
+std::string encodeLease(const LeaseFrame &f);
+std::string encodeResult(const ResultFrame &f);
+std::string encodeHeartbeat(const HeartbeatFrame &f);
+std::string encodeBye(const ByeFrame &f);
+
+/**
+ * Decode one frame payload. @return false and fill `error` (with a
+ * byte offset for malformed JSON, or the offending field name for a
+ * structurally wrong frame) on anything unrecognizable.
+ */
+bool decodeFrame(std::string_view payload, Frame &out,
+                 std::string &error);
+
+/** Lowercase hex of arbitrary bytes (opaque RESULT payloads). */
+std::string toHex(std::string_view bytes);
+
+/** @return false on odd length or a non-hex digit. */
+bool fromHex(std::string_view hex, std::string &out);
+
+/**
+ * Content hash of a canonical work queue: fnv1a64 over every item id,
+ * length-delimited so id boundaries cannot alias. Both sides derive
+ * the queue independently and compare hashes at HELLO.
+ */
+std::string queueHashHex(const std::vector<std::string> &ids);
+
+/** Content hash of one item id (per-LEASE check). */
+std::string idHashHex(const std::string &id);
+
+} // namespace middlesim::fabric
+
+#endif // FABRIC_PROTOCOL_HH

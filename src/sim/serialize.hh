@@ -280,6 +280,61 @@ class ByteReader
     bool ok_ = true;
 };
 
+// ---------------------------------------------------------------------
+// Length-prefixed framing (the experiment-fabric wire format)
+// ---------------------------------------------------------------------
+
+/**
+ * Largest frame a peer may send (64 MiB). A length prefix beyond this
+ * is treated as stream corruption, never as an allocation request.
+ */
+inline constexpr std::uint32_t maxFrameBytes = 64u << 20;
+
+/** Append one frame: 4-byte little-endian length, then the payload. */
+void appendFrame(std::string &buf, std::string_view payload);
+
+/**
+ * Incremental splitter for a stream of length-prefixed frames, fed
+ * from nonblocking reads of a pipe or socket. Corruption (a length
+ * prefix over maxFrameBytes) and truncation (EOF mid-frame, reported
+ * by the caller via finish()) produce errors naming the absolute byte
+ * offset of the fault; after a failure the splitter yields nothing.
+ */
+class FrameSplitter
+{
+  public:
+    /** Buffer `n` more stream bytes. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Extract the next complete frame payload into `frame`.
+     * @return false when no complete frame is buffered (or failed()).
+     */
+    bool next(std::string &frame);
+
+    /**
+     * Declare end-of-stream: any partially buffered frame becomes a
+     * truncation error. @return true when the stream ended cleanly on
+     * a frame boundary.
+     */
+    bool finish();
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+    /** Total stream bytes consumed into complete frames so far. */
+    std::uint64_t consumed() const { return consumed_; }
+
+  private:
+    void fail(std::string msg);
+
+    std::string buf_;
+    /** Absolute stream offset of buf_[0]. */
+    std::uint64_t consumed_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
 } // namespace middlesim::sim
 
 #endif // SIM_SERIALIZE_HH

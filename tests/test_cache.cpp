@@ -396,6 +396,9 @@ TEST_F(CacheTest, CorruptCacheFilesDegradeToMisses)
         const core::RunResult rerun = core::cachedRunExperiment(spec);
         EXPECT_EQ(core::RunCache::global().stats().diskHits, 0u);
         EXPECT_EQ(core::RunCache::global().stats().misses, 1u);
+        // The entry existed but failed validation: attributed to the
+        // corrupt-miss counter (a plain absent entry would not be).
+        EXPECT_EQ(core::RunCache::global().stats().corruptMisses, 1u);
         expectIdentical(fresh, rerun);
     }
 
@@ -416,13 +419,29 @@ TEST_F(CacheTest, CorruptCacheFilesDegradeToMisses)
     const core::RunResult rerun = core::cachedRunExperiment(spec);
     EXPECT_EQ(core::RunCache::global().stats().diskHits, 0u);
     EXPECT_EQ(core::RunCache::global().stats().misses, 1u);
+    EXPECT_EQ(core::RunCache::global().stats().corruptMisses, 1u);
     expectIdentical(fresh, rerun);
 
-    // After the re-simulation the repaired file serves hits again.
+    // After the re-simulation the repaired file serves hits again
+    // (miss-and-rewrite: the store healed the corrupt entry, exactly
+    // what a second fabric process observing a torn write relies on).
     core::RunCache::global().clearMemory();
     core::RunCache::global().resetStats();
     expectIdentical(fresh, core::cachedRunExperiment(spec));
     EXPECT_EQ(core::RunCache::global().stats().diskHits, 1u);
+    EXPECT_EQ(core::RunCache::global().stats().corruptMisses, 0u);
+}
+
+TEST_F(CacheTest, AbsentEntryIsNotACorruptMiss)
+{
+    const std::string dir = makeTempDir();
+    core::RunCache::global().setDiskDir(dir);
+    core::RunCache::global().resetStats();
+    std::string payload;
+    EXPECT_FALSE(
+        core::RunCache::global().fetch("run", "no-such-key", payload));
+    EXPECT_EQ(core::RunCache::global().stats().misses, 1u);
+    EXPECT_EQ(core::RunCache::global().stats().corruptMisses, 0u);
 }
 
 TEST_F(CacheTest, GridDeduplicatesIdenticalPoints)

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Unit tests of the experiment fabric's building blocks: the frame
+ * codec (hostile-input style, as test_serialize), the strict JSON
+ * parser's byte-offset diagnostics, the middlesim-fabric-v1 frame
+ * encode/decode round trips, the queue/id content hashes, and the
+ * lease table's epoch discipline (stale and duplicate results must be
+ * detectably late). Process-level behavior — byte-identical stdout
+ * across worker counts, SIGKILL recovery — lives in
+ * tests/fabric_equivalence.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/json.hh"
+#include "fabric/lease.hh"
+#include "fabric/protocol.hh"
+#include "sim/serialize.hh"
+
+using namespace middlesim;
+
+// ---------------------------------------------------------------------
+// Length-prefixed framing (sim/serialize.hh)
+// ---------------------------------------------------------------------
+
+TEST(FrameSplitter, RoundTripsFramesFedByteByByte)
+{
+    const std::vector<std::string> payloads = {
+        "", "x", std::string("\x00\xff\x7f", 3),
+        std::string(100000, 'q')};
+    std::string wire;
+    for (const std::string &p : payloads)
+        sim::appendFrame(wire, p);
+
+    sim::FrameSplitter splitter;
+    std::vector<std::string> got;
+    std::string frame;
+    for (char c : wire) {
+        splitter.feed(&c, 1);
+        while (splitter.next(frame))
+            got.push_back(frame);
+    }
+    ASSERT_FALSE(splitter.failed());
+    EXPECT_TRUE(splitter.finish());
+    EXPECT_EQ(got, payloads);
+    EXPECT_EQ(splitter.consumed(), wire.size());
+}
+
+TEST(FrameSplitter, OversizeLengthIsRejectedWithByteOffset)
+{
+    // One good frame, then a length prefix over the cap: the error
+    // must carry the absolute offset of the bad prefix.
+    std::string wire;
+    sim::appendFrame(wire, "ok");
+    const std::size_t bad_at = wire.size();
+    wire += std::string("\xff\xff\xff\xff", 4); // 4 GiB "length"
+
+    sim::FrameSplitter splitter;
+    splitter.feed(wire.data(), wire.size());
+    std::string frame;
+    ASSERT_TRUE(splitter.next(frame));
+    EXPECT_EQ(frame, "ok");
+    EXPECT_FALSE(splitter.next(frame));
+    ASSERT_TRUE(splitter.failed());
+    EXPECT_NE(splitter.error().find("byte " + std::to_string(bad_at)),
+              std::string::npos)
+        << splitter.error();
+}
+
+TEST(FrameSplitter, TruncatedStreamFailsAtFinish)
+{
+    std::string wire;
+    sim::appendFrame(wire, "hello");
+    wire.resize(wire.size() - 2); // cut mid-payload
+
+    sim::FrameSplitter splitter;
+    splitter.feed(wire.data(), wire.size());
+    std::string frame;
+    EXPECT_FALSE(splitter.next(frame));
+    EXPECT_FALSE(splitter.failed()); // might just be mid-stream...
+    EXPECT_FALSE(splitter.finish()); // ...but EOF here is an error
+    ASSERT_TRUE(splitter.failed());
+    EXPECT_NE(splitter.error().find("byte"), std::string::npos)
+        << splitter.error();
+}
+
+// ---------------------------------------------------------------------
+// Strict JSON subset parser
+// ---------------------------------------------------------------------
+
+TEST(FabricJson, ParsesNestedDocument)
+{
+    fabric::JsonValue v;
+    std::string error;
+    ASSERT_TRUE(fabric::parseJson(
+        R"({"a": 1.5, "b": [true, null, "x\u0041\n"], "c": {"d": -3}})",
+        v, error))
+        << error;
+    EXPECT_EQ(v.numOr("a", 0.0), 1.5);
+    const fabric::JsonValue *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->elements.size(), 3u);
+    EXPECT_TRUE(b->elements[0].boolean);
+    EXPECT_EQ(b->elements[1].kind, fabric::JsonValue::Kind::Null);
+    EXPECT_EQ(b->elements[2].text, "xA\n");
+    const fabric::JsonValue *c = v.find("c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->numOr("d", 0.0), -3.0);
+}
+
+TEST(FabricJson, RoundTripsThroughWriter)
+{
+    fabric::JsonValue v;
+    std::string error;
+    const std::string doc =
+        R"({"s": "q\"\\", "n": 42, "neg": -1.25, "arr": [1, 2], )"
+        R"("t": true, "f": false, "z": null})";
+    ASSERT_TRUE(fabric::parseJson(doc, v, error)) << error;
+    const std::string out = fabric::writeJson(v);
+    fabric::JsonValue again;
+    ASSERT_TRUE(fabric::parseJson(out, again, error)) << error;
+    EXPECT_EQ(fabric::writeJson(again), out);
+}
+
+TEST(FabricJson, MalformedInputsNameTheByteOffset)
+{
+    const std::vector<std::string> bad = {
+        "",                      // empty document
+        "{",                     // unterminated object
+        "[1, 2",                 // unterminated array
+        "{\"a\" 1}",             // missing colon
+        "{\"a\": 1,}",           // trailing comma
+        "tru",                   // cut literal
+        "\"abc",                 // unterminated string
+        "\"\x01\"",              // raw control character
+        "\"\\ud800\"",           // lone surrogate escape
+        "1e999",                 // non-finite number
+        "01",                    // leading zero
+        "{} trailing",           // bytes after the document
+        "nul1",                  // bad literal
+    };
+    for (const std::string &doc : bad) {
+        SCOPED_TRACE(doc);
+        fabric::JsonValue v;
+        std::string error;
+        EXPECT_FALSE(fabric::parseJson(doc, v, error));
+        EXPECT_NE(error.find("byte"), std::string::npos) << error;
+    }
+}
+
+TEST(FabricJson, NestingDepthIsBounded)
+{
+    std::string deep;
+    for (int i = 0; i < 80; ++i)
+        deep += '[';
+    for (int i = 0; i < 80; ++i)
+        deep += ']';
+    fabric::JsonValue v;
+    std::string error;
+    EXPECT_FALSE(fabric::parseJson(deep, v, error));
+    EXPECT_NE(error.find("byte"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
+// middlesim-fabric-v1 frames
+// ---------------------------------------------------------------------
+
+TEST(FabricProtocol, HelloRoundTrips)
+{
+    fabric::HelloFrame hello;
+    hello.protocol = fabric::protocolVersion;
+    hello.role = "coordinator";
+    hello.queueHash = "deadbeefdeadbeef";
+    hello.items = 51;
+    hello.pid = 12345;
+
+    fabric::Frame back;
+    std::string error;
+    ASSERT_TRUE(
+        fabric::decodeFrame(fabric::encodeHello(hello), back, error))
+        << error;
+    ASSERT_EQ(back.type, fabric::FrameType::Hello);
+    EXPECT_EQ(back.hello.protocol, hello.protocol);
+    EXPECT_EQ(back.hello.role, hello.role);
+    EXPECT_EQ(back.hello.queueHash, hello.queueHash);
+    EXPECT_EQ(back.hello.items, hello.items);
+    EXPECT_EQ(back.hello.pid, hello.pid);
+}
+
+TEST(FabricProtocol, ResultCarriesBinaryPayloadExactly)
+{
+    fabric::ResultFrame result;
+    result.index = 7;
+    result.epoch = 3;
+    result.ok = true;
+    result.seconds = 0.125;
+    result.payload = std::string("\x00\x01\xff\x80snap", 8);
+
+    fabric::Frame back;
+    std::string error;
+    ASSERT_TRUE(
+        fabric::decodeFrame(fabric::encodeResult(result), back, error))
+        << error;
+    ASSERT_EQ(back.type, fabric::FrameType::Result);
+    EXPECT_EQ(back.result.index, 7u);
+    EXPECT_EQ(back.result.epoch, 3u);
+    EXPECT_TRUE(back.result.ok);
+    EXPECT_EQ(back.result.seconds, 0.125);
+    EXPECT_EQ(back.result.payload, result.payload);
+}
+
+TEST(FabricProtocol, LeaseHeartbeatByeRoundTrip)
+{
+    fabric::LeaseFrame lease;
+    lease.index = 11;
+    lease.epoch = 2;
+    lease.idHash = fabric::idHashHex("run:xyz");
+    fabric::Frame back;
+    std::string error;
+    ASSERT_TRUE(
+        fabric::decodeFrame(fabric::encodeLease(lease), back, error))
+        << error;
+    ASSERT_EQ(back.type, fabric::FrameType::Lease);
+    EXPECT_EQ(back.lease.index, 11u);
+    EXPECT_EQ(back.lease.epoch, 2u);
+    EXPECT_EQ(back.lease.idHash, lease.idHash);
+
+    fabric::HeartbeatFrame hb;
+    hb.busyIndex = -1;
+    ASSERT_TRUE(
+        fabric::decodeFrame(fabric::encodeHeartbeat(hb), back, error))
+        << error;
+    ASSERT_EQ(back.type, fabric::FrameType::Heartbeat);
+    EXPECT_EQ(back.heartbeat.busyIndex, -1);
+
+    fabric::ByeFrame bye;
+    bye.results = 51;
+    ASSERT_TRUE(
+        fabric::decodeFrame(fabric::encodeBye(bye), back, error))
+        << error;
+    ASSERT_EQ(back.type, fabric::FrameType::Bye);
+    EXPECT_EQ(back.bye.results, 51u);
+}
+
+TEST(FabricProtocol, StructurallyWrongFramesNameTheFault)
+{
+    fabric::Frame out;
+    std::string error;
+
+    // Malformed JSON: the byte offset of the fault is reported.
+    EXPECT_FALSE(fabric::decodeFrame("{\"type\": ", out, error));
+    EXPECT_NE(error.find("byte"), std::string::npos) << error;
+
+    // Valid JSON, wrong shape: the offending field is named.
+    EXPECT_FALSE(fabric::decodeFrame("{}", out, error));
+    EXPECT_NE(error.find("type"), std::string::npos) << error;
+    EXPECT_FALSE(
+        fabric::decodeFrame("{\"type\": \"warp\"}", out, error));
+    EXPECT_NE(error.find("warp"), std::string::npos) << error;
+    EXPECT_FALSE(
+        fabric::decodeFrame("{\"type\": \"lease\"}", out, error));
+    EXPECT_NE(error.find("index"), std::string::npos) << error;
+    EXPECT_FALSE(fabric::decodeFrame(
+        "{\"type\": \"lease\", \"index\": 1}", out, error));
+    EXPECT_NE(error.find("epoch"), std::string::npos) << error;
+
+    // RESULT with broken hex payload.
+    EXPECT_FALSE(fabric::decodeFrame(
+        "{\"type\": \"result\", \"index\": 0, \"epoch\": 1, "
+        "\"ok\": true, \"snap\": \"zz\"}",
+        out, error));
+    EXPECT_NE(error.find("snap"), std::string::npos) << error;
+}
+
+TEST(FabricProtocol, HexRoundTripsAndRejectsGarbage)
+{
+    std::string all;
+    for (int i = 0; i < 256; ++i)
+        all.push_back(static_cast<char>(i));
+    std::string back;
+    ASSERT_TRUE(fabric::fromHex(fabric::toHex(all), back));
+    EXPECT_EQ(back, all);
+    EXPECT_FALSE(fabric::fromHex("abc", back));  // odd length
+    EXPECT_FALSE(fabric::fromHex("zz", back));   // non-hex digit
+    ASSERT_TRUE(fabric::fromHex("", back));
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(FabricProtocol, QueueHashSeparatesIdBoundaries)
+{
+    using V = std::vector<std::string>;
+    const std::string h1 = fabric::queueHashHex(V{"ab", "c"});
+    const std::string h2 = fabric::queueHashHex(V{"a", "bc"});
+    const std::string h3 = fabric::queueHashHex(V{"c", "ab"});
+    EXPECT_NE(h1, h2); // length-delimited: no concatenation aliasing
+    EXPECT_NE(h1, h3); // order matters
+    EXPECT_EQ(h1, fabric::queueHashHex(V{"ab", "c"})); // deterministic
+}
+
+// ---------------------------------------------------------------------
+// Lease table epochs
+// ---------------------------------------------------------------------
+
+TEST(LeaseTable, LeasesInOrderAndCompletes)
+{
+    fabric::LeaseTable table(3);
+    const auto l0 = table.acquire(0);
+    const auto l1 = table.acquire(1);
+    const auto l2 = table.acquire(0);
+    ASSERT_TRUE(l0 && l1 && l2);
+    EXPECT_EQ(l0->index, 0u);
+    EXPECT_EQ(l1->index, 1u);
+    EXPECT_EQ(l2->index, 2u);
+    EXPECT_FALSE(table.acquire(1)); // drained
+
+    EXPECT_EQ(table.complete(l0->index, l0->epoch),
+              fabric::LeaseTable::Outcome::Accepted);
+    EXPECT_EQ(table.complete(l1->index, l1->epoch),
+              fabric::LeaseTable::Outcome::Accepted);
+    EXPECT_FALSE(table.allDone());
+    EXPECT_EQ(table.complete(l2->index, l2->epoch),
+              fabric::LeaseTable::Outcome::Accepted);
+    EXPECT_TRUE(table.allDone());
+    EXPECT_EQ(table.doneCount(), 3u);
+}
+
+TEST(LeaseTable, ZombieResultsAreStaleTheMomentTheWorkerDies)
+{
+    fabric::LeaseTable table(2);
+    const auto l0 = table.acquire(0);
+    const auto l1 = table.acquire(1);
+    ASSERT_TRUE(l0 && l1);
+
+    // Worker 0 is declared dead: its lease must be invalid BEFORE the
+    // item is even re-leased, so a zombie's in-flight RESULT already
+    // reads as stale.
+    const auto requeued = table.releaseWorker(0);
+    ASSERT_EQ(requeued, std::vector<std::size_t>{0});
+    EXPECT_EQ(table.complete(l0->index, l0->epoch),
+              fabric::LeaseTable::Outcome::Stale);
+
+    // The re-lease runs under a fresh epoch and is the only accepted
+    // completion; the zombie epoch stays dead.
+    const auto release = table.acquire(1);
+    ASSERT_TRUE(release);
+    EXPECT_EQ(release->index, 0u);
+    EXPECT_GT(release->epoch, l0->epoch);
+    EXPECT_EQ(table.complete(l0->index, l0->epoch),
+              fabric::LeaseTable::Outcome::Stale);
+    EXPECT_EQ(table.complete(release->index, release->epoch),
+              fabric::LeaseTable::Outcome::Accepted);
+
+    // A second delivery of an accepted item is a duplicate, not stale.
+    EXPECT_EQ(table.complete(release->index, release->epoch),
+              fabric::LeaseTable::Outcome::Duplicate);
+
+    EXPECT_EQ(table.requeues(), 1u);
+    EXPECT_EQ(table.staleResults(), 2u);
+    EXPECT_EQ(table.duplicateResults(), 1u);
+}
+
+TEST(LeaseTable, FailedResultsRequeueUnderFreshEpoch)
+{
+    fabric::LeaseTable table(1);
+    const auto l0 = table.acquire(0);
+    ASSERT_TRUE(l0);
+    table.fail(l0->index, l0->epoch);
+    EXPECT_EQ(table.requeues(), 1u);
+
+    // Stale failure (already requeued) is ignored.
+    table.fail(l0->index, l0->epoch);
+    EXPECT_EQ(table.requeues(), 1u);
+
+    const auto l1 = table.acquire(0);
+    ASSERT_TRUE(l1);
+    EXPECT_GT(l1->epoch, l0->epoch);
+    EXPECT_EQ(table.complete(l1->index, l1->epoch),
+              fabric::LeaseTable::Outcome::Accepted);
+    EXPECT_TRUE(table.allDone());
+}
+
+TEST(LeaseTable, OverBudgetItemsStopBeingLeased)
+{
+    fabric::LeaseTable table(1, /*max_requeues=*/0);
+    const auto l0 = table.acquire(0);
+    ASSERT_TRUE(l0);
+    table.releaseWorker(0); // one requeue: over the zero budget
+
+    EXPECT_FALSE(table.hasLeasable());
+    EXPECT_FALSE(table.acquire(1));
+    EXPECT_FALSE(table.allDone());
+    // The inline fallback still sees the item.
+    EXPECT_EQ(table.unfinished(), std::vector<std::size_t>{0});
+}
