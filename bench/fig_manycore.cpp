@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Many-core extrapolation: SPECjbb at 16-512 processors under the
+ * directory MESI protocol with NUMA homes, anchored by a matched
+ * 16-CPU snooping-bus point. See core/manycore.cc for the harness.
+ */
+
+#include "core/manycore.hh"
+#include "core/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    return middlesim::core::figureMain(middlesim::core::runManycore,
+                                       argc, argv);
+}

@@ -121,7 +121,7 @@ BM_BlockMetaLookup(benchmark::State &state)
     for (unsigned i = 0; i < 100000; ++i) {
         keys.push_back(
             static_cast<mem::Addr>(rng.uniform(1u << 22)) * 64);
-        table[keys.back()].everCachedMask |= 1;
+        table[keys.back()].everCachedMask.set(0);
     }
     std::size_t i = 0;
     for (auto _ : state) {

@@ -40,6 +40,8 @@ struct Options
 {
     unsigned cpus = 2;
     unsigned cpusPerL2 = 1;
+    sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
+    unsigned numaNodes = 1;
     unsigned blocks = 2;
     /** Total references, dealt round-robin over the CPUs. */
     unsigned refs = 12;
@@ -69,9 +71,24 @@ parseInject(const std::string &name)
         return mem::FaultPlan::Kind::KeepOwnerOnSnoop;
     if (name == "skip-l1" || name == "skip-l1-back-inval")
         return mem::FaultPlan::Kind::SkipL1BackInvalidate;
+    if (name == "drop-ack" || name == "drop-inval-ack")
+        return mem::FaultPlan::Kind::DropInvalAck;
     fatal("middlesim_explore: unknown --inject value '", name,
-          "' (want none, drop-invalidate, keep-owner or skip-l1)");
+          "' (want none, drop-invalidate, keep-owner, skip-l1 or "
+          "drop-ack)");
     return mem::FaultPlan::Kind::None;
+}
+
+sim::CoherenceProtocol
+parseProtocol(const std::string &name)
+{
+    if (name == "snoop" || name == "bus" || name == "mosi")
+        return sim::CoherenceProtocol::SnoopBus;
+    if (name == "directory" || name == "dir" || name == "mesi")
+        return sim::CoherenceProtocol::DirectoryMesi;
+    fatal("middlesim_explore: unknown --protocol value '", name,
+          "' (want snoop or directory)");
+    return sim::CoherenceProtocol::SnoopBus;
 }
 
 Options
@@ -87,6 +104,10 @@ parseArgs(int argc, char **argv)
             opt.cpus = static_cast<unsigned>(num(7));
         } else if (arg.rfind("--cpus-per-l2=", 0) == 0) {
             opt.cpusPerL2 = static_cast<unsigned>(num(14));
+        } else if (arg.rfind("--protocol=", 0) == 0) {
+            opt.protocol = parseProtocol(arg.substr(11));
+        } else if (arg.rfind("--numa-nodes=", 0) == 0) {
+            opt.numaNodes = static_cast<unsigned>(num(13));
         } else if (arg.rfind("--blocks=", 0) == 0) {
             opt.blocks = static_cast<unsigned>(num(9));
         } else if (arg.rfind("--refs=", 0) == 0) {
@@ -116,6 +137,7 @@ parseArgs(int argc, char **argv)
         } else {
             fatal("middlesim_explore: unknown flag '", arg,
                   "' (supported: --cpus=N, --cpus-per-l2=N, "
+                  "--protocol=snoop|directory, --numa-nodes=N, "
                   "--blocks=N, --refs=N, --seed=N, --depth-budget=N, "
                   "--max-executions=N, --jobs=N, --no-dpor, --timing, "
                   "--inject=KIND, --inject-period=N, --inject-salt=N, "
@@ -128,6 +150,20 @@ parseArgs(int argc, char **argv)
         fatal("middlesim_explore: --cpus-per-l2 must divide --cpus");
     if (opt.blocks < 1)
         fatal("middlesim_explore: --blocks must be >= 1");
+    if (opt.numaNodes < 1)
+        fatal("middlesim_explore: --numa-nodes must be >= 1");
+    const unsigned groups = opt.cpus / std::max(1u, opt.cpusPerL2);
+    if (groups % opt.numaNodes != 0)
+        fatal("middlesim_explore: --numa-nodes must divide the L2 "
+              "group count (", groups, ")");
+    if (opt.numaNodes != 1 &&
+        opt.protocol != sim::CoherenceProtocol::DirectoryMesi)
+        fatal("middlesim_explore: --numa-nodes>1 needs "
+              "--protocol=directory");
+    if (opt.inject == mem::FaultPlan::Kind::DropInvalAck &&
+        opt.protocol != sim::CoherenceProtocol::DirectoryMesi)
+        fatal("middlesim_explore: --inject=drop-ack is a directory "
+              "defect; add --protocol=directory");
     return opt;
 }
 
@@ -139,8 +175,9 @@ main(int argc, char **argv)
     const Options opt = parseArgs(argc, argv);
     check::setCheckingEnabled(false);
 
-    const trace::TraceHeader header =
-        explore::exploreHeader(opt.cpus, opt.cpusPerL2, opt.seed);
+    const trace::TraceHeader header = explore::exploreHeader(
+        opt.cpus, opt.cpusPerL2, opt.seed, opt.protocol,
+        opt.numaNodes);
     const explore::Streams streams =
         explore::makeStreams(opt.cpus, opt.blocks, opt.refs, opt.seed);
 
@@ -171,6 +208,8 @@ main(int argc, char **argv)
     explore::ReportConfig rc;
     rc.cpus = opt.cpus;
     rc.cpusPerL2 = opt.cpusPerL2;
+    rc.protocol = opt.protocol;
+    rc.numaNodes = opt.numaNodes;
     rc.blocks = opt.blocks;
     rc.refs = opt.refs;
     rc.seed = opt.seed;

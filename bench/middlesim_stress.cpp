@@ -86,8 +86,11 @@ parseInject(const std::string &name)
         return mem::FaultPlan::Kind::KeepOwnerOnSnoop;
     if (name == "skip-l1" || name == "skip-l1-back-inval")
         return mem::FaultPlan::Kind::SkipL1BackInvalidate;
+    if (name == "drop-ack" || name == "drop-inval-ack")
+        return mem::FaultPlan::Kind::DropInvalAck;
     fatal("middlesim_stress: unknown --inject value '", name,
-          "' (want none, drop-invalidate, keep-owner or skip-l1)");
+          "' (want none, drop-invalidate, keep-owner, skip-l1 or "
+          "drop-ack)");
     return mem::FaultPlan::Kind::None;
 }
 
@@ -154,10 +157,14 @@ randomDivisor(sim::Rng &rng, unsigned n, bool proper)
 /**
  * A random machine for this seed. Injected faults need at least two
  * L2 groups to create cross-group coherence traffic, so inject runs
- * draw only geometries with a proper sharing degree.
+ * draw only geometries with a proper sharing degree. Roughly half of
+ * the geometries run the directory MESI protocol (with a random NUMA
+ * node count dividing the group count); drop-ack is a directory-only
+ * defect, so those runs always draw directory machines.
  */
 trace::TraceHeader
-randomGeometry(sim::Rng &rng, std::uint64_t seed, bool need_groups)
+randomGeometry(sim::Rng &rng, std::uint64_t seed, bool need_groups,
+               mem::FaultPlan::Kind inject)
 {
     static const unsigned cpuChoices[] = {1, 2, 4, 8, 16};
     static const std::uint64_t l1Sizes[] = {4096, 8192, 16384};
@@ -174,6 +181,14 @@ randomGeometry(sim::Rng &rng, std::uint64_t seed, bool need_groups)
                     : cpuChoices[rng.uniform(5)];
     h.appCpus = h.totalCpus;
     h.cpusPerL2 = randomDivisor(rng, h.totalCpus, need_groups);
+    const bool directory =
+        inject == mem::FaultPlan::Kind::DropInvalAck ||
+        rng.chance(0.5);
+    if (directory) {
+        h.protocol = sim::CoherenceProtocol::DirectoryMesi;
+        h.numaNodes =
+            randomDivisor(rng, h.totalCpus / h.cpusPerL2, false);
+    }
     h.l1i = {l1Sizes[rng.uniform(3)],
              l1Assoc[rng.uniform(3)], 64};
     h.l1d = {l1Sizes[rng.uniform(3)],
@@ -248,7 +263,8 @@ bool
 memReplayable(const std::string &invariant)
 {
     for (const char *prefix :
-         {"mosi.", "value.", "incl.", "meta.", "check.", "classify."}) {
+         {"mosi.", "value.", "incl.", "meta.", "check.", "classify.",
+          "dir.", "proto."}) {
         if (invariant.rfind(prefix, 0) == 0)
             return true;
     }
@@ -353,7 +369,7 @@ runSyntheticSeed(std::uint64_t seed, const Options &opt, Tally &tally)
     sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
     const bool inject = opt.inject != mem::FaultPlan::Kind::None;
     const trace::TraceHeader header =
-        randomGeometry(rng, seed, inject);
+        randomGeometry(rng, seed, inject, opt.inject);
     const std::vector<trace::TraceRecord> records =
         randomStream(rng, header, opt.refs);
 
@@ -369,10 +385,12 @@ runSyntheticSeed(std::uint64_t seed, const Options &opt, Tally &tally)
     ++tally.ran;
     const std::string invariant =
         check::violatedInvariant(header, records, fault);
-    char geom[128];
+    char geom[160];
     std::snprintf(geom, sizeof geom,
-                  "synthetic cpus=%u/l2x%u l1=%lluK/%u l2=%lluK/%u",
+                  "synthetic cpus=%u/l2x%u %s/n%u l1=%lluK/%u "
+                  "l2=%lluK/%u",
                   header.totalCpus, header.cpusPerL2,
+                  sim::toString(header.protocol), header.numaNodes,
                   static_cast<unsigned long long>(
                       header.l1d.sizeBytes / 1024),
                   header.l1d.assoc,
@@ -420,6 +438,12 @@ runWorkloadSeed(std::uint64_t seed, const Options &opt, Tally &tally)
                : cpuChoices[rng.uniform(3)];
     spec.appCpus = spec.totalCpus;
     spec.cpusPerL2 = randomDivisor(rng, spec.totalCpus, inject);
+    if (opt.inject == mem::FaultPlan::Kind::DropInvalAck ||
+        rng.chance(0.5)) {
+        spec.protocol = sim::CoherenceProtocol::DirectoryMesi;
+        spec.numaNodes =
+            randomDivisor(rng, spec.totalCpus / spec.cpusPerL2, false);
+    }
     spec.seed = seed;
     spec.warmup = 200'000;
     spec.measure = 600'000;
@@ -458,8 +482,10 @@ runWorkloadSeed(std::uint64_t seed, const Options &opt, Tally &tally)
     ++tally.ran;
     const check::CheckReport &report = system->checker()->report();
     char geom[96];
-    std::snprintf(geom, sizeof geom, "workload jbb:1 cpus=%u/l2x%u",
-                  spec.totalCpus, spec.cpusPerL2);
+    std::snprintf(geom, sizeof geom,
+                  "workload jbb:1 cpus=%u/l2x%u %s/n%u",
+                  spec.totalCpus, spec.cpusPerL2,
+                  sim::toString(spec.protocol), spec.numaNodes);
     if (report.clean()) {
         ++tally.clean;
         if (inject) {

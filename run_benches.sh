@@ -394,6 +394,54 @@ echo "--- wall clock: explore dpor ${explore_dpor_s}s" \
      "drop ${find_drop}s, keep ${find_keep}s, skip ${find_skip}s"
 echo "wrote $explore_json"
 
+# Many-core directory/NUMA grid: the matched 16-CPU snoop-vs-directory
+# pair plus the 64- and 128-CPU directory points, parsed from the
+# fig_manycore table. Honesty flags mirror EXPERIMENTS.md: rows past
+# 64 CPUs are time-compressed (rates unbiased, absolute tx counts not
+# comparable), the scheduler/workload models are the ≤16-CPU ones
+# scaled up, and past 16 CPUs the nursery is sized so no GC lands in
+# the measured window (mutator behavior only).
+echo "################ many-core scaling (BENCH_manycore.json)"
+time_run ./build/bench/fig_manycore --no-cache --jobs="$jobs_parallel"
+manycore_s="$elapsed_s"
+manycore_ok=true
+grep -q "all shape checks passed" /tmp/middlesim_bench_out.txt ||
+    manycore_ok=false
+cat /tmp/middlesim_bench_out.txt
+
+# Table row for cpus=$1 protocol=$2 -> "tx mpki coh remote hops msgs".
+manycore_row() {
+    awk -v c="$1" -v p="$2" '$1 == c && $2 == p {
+        print $5, $6, $7, $8, $9, $10 }' /tmp/middlesim_bench_out.txt
+}
+manycore_point() {
+    set -- $(manycore_row "$1" "$2")
+    printf '{"tx": %s, "data_mpki": %s, "coh_pct": %s, "remote_pct": %s, "hops_per_miss": %s, "msgs_per_miss": %s}' \
+        "${1:-null}" "${2:-null}" "${3:-null}" "${4:-null}" \
+        "${5:-null}" "${6:-null}"
+}
+
+manycore_json="BENCH_manycore.json"
+{
+    echo "{"
+    printf '  "schema": "middlesim-bench-manycore-v1",\n'
+    printf '  "wall_s": %s,\n' "$manycore_s"
+    printf '  "shape_checks_passed": %s,\n' "$manycore_ok"
+    printf '  "snoop_16": %s,\n' "$(manycore_point 16 snoop)"
+    printf '  "directory_16": %s,\n' "$(manycore_point 16 directory)"
+    printf '  "directory_64": %s,\n' "$(manycore_point 64 directory)"
+    printf '  "directory_128": %s,\n' "$(manycore_point 128 directory)"
+    printf '  "time_compressed_beyond_64cpus": true,\n'
+    printf '  "models_validated_at_16cpus": true,\n'
+    printf '  "gc_free_window_beyond_16cpus": true,\n'
+    printf '  "jobs_used": %s,\n' "$jobs_parallel"
+    printf '  "degraded_parallelism": %s\n' "$degraded_parallelism"
+    echo "}"
+} > "$manycore_json"
+echo "--- wall clock: fig_manycore ${manycore_s}s" \
+     "(shape_checks_passed=$manycore_ok)"
+echo "wrote $manycore_json"
+
 echo "################ ablation_mechanisms"
 ./build/bench/ablation_mechanisms
 echo

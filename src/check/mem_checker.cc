@@ -1,7 +1,6 @@
 #include "check/mem_checker.hh"
 
 #include <algorithm>
-#include <bit>
 
 #include "mem/coherence.hh"
 
@@ -9,6 +8,7 @@ namespace middlesim::check
 {
 
 using mem::CoherenceState;
+using mem::SharerSet;
 using sim::formatMessage;
 
 namespace
@@ -25,9 +25,11 @@ stateName(CoherenceState s)
 MemChecker::MemChecker(const mem::Hierarchy &hierarchy,
                        CheckReport &report)
     : h_(hierarchy), report_(report), groups_(hierarchy.numGroups()),
-      cpus_(hierarchy.config().totalCpus)
+      cpus_(hierarchy.config().totalCpus), dir_(hierarchy.directory())
 {
     preState_.resize(groups_);
+    preEver_ = SharerSet(groups_);
+    preInval_ = SharerSet(groups_);
 }
 
 mem::Addr
@@ -41,6 +43,8 @@ MemChecker::shadowFor(mem::Addr block)
 {
     Shadow &sh = shadow_[block];
     if (sh.state.empty()) {
+        sh.everCached = SharerSet(groups_);
+        sh.lastInval = SharerSet(groups_);
         sh.state.assign(groups_, 0);
         sh.value.assign(groups_, 0);
     }
@@ -52,6 +56,43 @@ MemChecker::actualState(unsigned group, mem::Addr block) const
 {
     const mem::CacheLine *line = h_.l2Array(group).find(block);
     return line ? line->state : CoherenceState::Invalid;
+}
+
+void
+MemChecker::checkDirectoryBlock(mem::Addr block,
+                                const SharerSet &valid_set,
+                                sim::Tick now, const char *ctx)
+{
+    const mem::DirEntry *de = h_.peekDirEntry(block);
+    const SharerSet dir_sharers =
+        de ? de->sharers : SharerSet(groups_);
+    if (dir_sharers != valid_set) {
+        report_.violate("dir.sharer-desync",
+            formatMessage(ctx, "block 0x", std::hex, block, std::dec,
+                          " directory sharer vector ",
+                          dir_sharers.toHex(), " but valid copies ",
+                          valid_set.toHex()),
+            now);
+    }
+
+    // The owner field must name exactly the group holding the block
+    // Exclusive or Modified, and be clear when no such copy exists.
+    std::int32_t actual_owner = -1;
+    for (unsigned g = 0; g < groups_; ++g) {
+        const CoherenceState s = actualState(g, block);
+        if (mem::suppliesDataOnForward(s)) {
+            actual_owner = static_cast<std::int32_t>(g);
+            break;
+        }
+    }
+    const std::int32_t dir_owner = de ? de->owner : -1;
+    if (dir_owner != actual_owner) {
+        report_.violate("dir.owner-desync",
+            formatMessage(ctx, "block 0x", std::hex, block, std::dec,
+                          " directory owner ", dir_owner,
+                          " but actual E/M holder ", actual_owner),
+            now);
+    }
 }
 
 void
@@ -67,17 +108,18 @@ MemChecker::preAccess(const mem::MemRef &ref, sim::Tick now)
     //    accesses to a block the only legal change is a silent
     //    eviction (valid -> Invalid); a replacement also clears the
     //    invalidation removal cause, mirroring evictLine().
-    std::uint32_t validMask = 0;
+    SharerSet validSet(groups_);
     unsigned modifiedCount = 0;
     unsigned ownerCount = 0;
     unsigned validCount = 0;
+    unsigned soleCount = 0; // M or E copies: must be truly alone.
     for (unsigned g = 0; g < groups_; ++g) {
         const CoherenceState actual = actualState(g, block);
         preState_[g] = static_cast<std::uint8_t>(actual);
         const auto expect = static_cast<CoherenceState>(sh.state[g]);
         if (actual != expect) {
             if (actual == CoherenceState::Invalid) {
-                sh.lastInval &= ~(1u << g);
+                sh.lastInval.clear(g);
             } else {
                 report_.violate("mosi.silent-transition",
                     formatMessage("block 0x", std::hex, block, std::dec,
@@ -92,35 +134,51 @@ MemChecker::preAccess(const mem::MemRef &ref, sim::Tick now)
             }
             sh.state[g] = static_cast<std::uint8_t>(actual);
         }
+        // Each protocol must stay inside its own state alphabet.
+        if ((dir_ && actual == CoherenceState::Owned) ||
+            (!dir_ && actual == CoherenceState::Exclusive)) {
+            report_.violate("proto.foreign-state",
+                formatMessage("block 0x", std::hex, block, std::dec,
+                              " group ", g, " holds ",
+                              stateName(actual), " under the ",
+                              dir_ ? "directory" : "snooping",
+                              " protocol"),
+                now);
+        }
         if (actual != CoherenceState::Invalid) {
-            validMask |= 1u << g;
+            validSet.set(g);
             ++validCount;
             if (actual == CoherenceState::Modified)
                 ++modifiedCount;
             if (mem::isOwner(actual))
                 ++ownerCount;
+            if (mem::suppliesDataOnForward(actual))
+                ++soleCount;
         }
     }
 
-    // 2. Single-writer / single-owner.
-    if (modifiedCount > 0 && validCount > 1) {
+    // 2. Single-writer / single-owner. Under MESI, Exclusive is as
+    //    exclusive as Modified.
+    const unsigned exclusiveCopies = dir_ ? soleCount : modifiedCount;
+    if (exclusiveCopies > 0 && validCount > 1) {
         report_.violate("mosi.modified-not-exclusive",
             formatMessage("block 0x", std::hex, block, std::dec,
-                          " has a Modified copy alongside ",
+                          " has a sole-copy (M/E) state alongside ",
                           validCount - 1, " other valid copies"),
             now);
     }
-    if (ownerCount > 1) {
+    if ((dir_ ? soleCount : ownerCount) > 1) {
         report_.violate("mosi.multiple-owners",
             formatMessage("block 0x", std::hex, block, std::dec,
-                          " has ", ownerCount, " owner (M/O) copies"),
+                          " has ", dir_ ? soleCount : ownerCount,
+                          " owner copies"),
             now);
     }
 
     // 3. Data-value consistency: every valid copy holds the latest
     //    write (copies that survive a remote write are stale).
     for (unsigned g = 0; g < groups_; ++g) {
-        if (((validMask >> g) & 1u) && sh.value[g] != sh.golden) {
+        if (validSet.test(g) && sh.value[g] != sh.golden) {
             report_.violate("value.stale-copy",
                 formatMessage("block 0x", std::hex, block, std::dec,
                               " group ", g, " holds write #",
@@ -132,7 +190,7 @@ MemChecker::preAccess(const mem::MemRef &ref, sim::Tick now)
 
     // 4. L1 inclusion for this block.
     for (unsigned c = 0; c < cpus_; ++c) {
-        if ((validMask >> h_.groupOf(c)) & 1u)
+        if (validSet.test(h_.groupOf(c)))
             continue;
         if (h_.l1iArray(c).find(block) || h_.l1dArray(c).find(block)) {
             report_.violate("incl.l1-without-l2",
@@ -146,22 +204,34 @@ MemChecker::preAccess(const mem::MemRef &ref, sim::Tick now)
 
     // 5. Snoop-filter consistency.
     const mem::LineMeta *meta = h_.peekMeta(block);
-    const std::uint32_t presence = meta ? meta->presenceMask : 0;
-    if (presence != validMask) {
+    const bool presence_ok =
+        meta ? meta->presenceMask == validSet : validSet.none();
+    if (!presence_ok) {
         report_.violate("meta.presence-desync",
-            formatMessage("block 0x", std::hex, block,
-                          " presence mask 0x", presence,
-                          " but valid copies 0x", validMask, std::dec),
+            formatMessage("block 0x", std::hex, block, std::dec,
+                          " presence mask ",
+                          meta ? meta->presenceMask.toHex() : "0x0",
+                          " but valid copies ", validSet.toHex()),
             now);
     }
+
+    // 5b. Directory lockstep: sharer vector and owner field.
+    if (dir_)
+        checkDirectoryBlock(block, validSet, now, "");
 
     // 6. Snapshot for postAccess.
     const unsigned reqGroup = h_.groupOf(ref.cpu);
     preL2State_ = static_cast<CoherenceState>(preState_[reqGroup]);
     preOwnerElsewhere_ = false;
     for (unsigned g = 0; g < groups_; ++g) {
-        if (g != reqGroup &&
-            mem::isOwner(static_cast<CoherenceState>(preState_[g])))
+        if (g == reqGroup)
+            continue;
+        const auto s = static_cast<CoherenceState>(preState_[g]);
+        // Who supplies data to a miss: the snooping bus' M/O owner,
+        // or the directory's forwarded E/M sole copy.
+        const bool supplies =
+            dir_ ? mem::suppliesDataOnForward(s) : mem::isOwner(s);
+        if (supplies)
             preOwnerElsewhere_ = true;
     }
     preL1Hit_ = false;
@@ -207,7 +277,6 @@ MemChecker::postAccess(const mem::MemRef &ref,
 {
     const mem::Addr block = blockOf(ref.addr);
     const unsigned reqGroup = h_.groupOf(ref.cpu);
-    const std::uint32_t reqBit = 1u << reqGroup;
     Shadow &sh = shadowFor(block);
 
     // Predict where the access should have been served from, and
@@ -229,7 +298,10 @@ MemChecker::postAccess(const mem::MemRef &ref,
         break;
       case mem::AccessType::Store:
       case mem::AccessType::Atomic:
-        if (preL2State_ == CoherenceState::Modified) {
+        if (preL2State_ == CoherenceState::Modified ||
+            (dir_ && preL2State_ == CoherenceState::Exclusive)) {
+            // A store hit in M, or the directory's silent E->M
+            // upgrade: served by the L2 with no message traffic.
             expected = mem::ServedBy::L2;
         } else if (preL2State_ != CoherenceState::Invalid) {
             expected = mem::ServedBy::UpgradeOnly;
@@ -256,9 +328,9 @@ MemChecker::postAccess(const mem::MemRef &ref,
     // Miss classification must match the shadow removal-cause masks.
     if (fetchMiss) {
         mem::MissClass expectClass;
-        if (!(preEver_ & reqBit))
+        if (!preEver_.test(reqGroup))
             expectClass = mem::MissClass::Cold;
-        else if (preInval_ & reqBit)
+        else if (preInval_.test(reqGroup))
             expectClass = mem::MissClass::Coherence;
         else
             expectClass = mem::MissClass::CapacityConflict;
@@ -316,21 +388,54 @@ MemChecker::postAccess(const mem::MemRef &ref,
             }
         }
     } else if (fetchMiss) {
-        // A read snoop degrades a Modified peer to Owned.
+        // A read miss degrades the previous sole-copy holder: to
+        // Owned under the snooping bus (it keeps supplying data), to
+        // Shared under the directory (the home now serves the block).
         for (unsigned g = 0; g < groups_; ++g) {
             if (g == reqGroup)
                 continue;
             const auto pre = static_cast<CoherenceState>(preState_[g]);
             const CoherenceState post = actualState(g, block);
-            if (pre == CoherenceState::Modified &&
-                post != CoherenceState::Owned) {
-                report_.violate("mosi.snoop-degrade",
+            if (!dir_) {
+                if (pre == CoherenceState::Modified &&
+                    post != CoherenceState::Owned) {
+                    report_.violate("mosi.snoop-degrade",
+                        formatMessage("block 0x", std::hex, block,
+                                      std::dec, " group ", g,
+                                      " stayed ", stateName(post),
+                                      " across a remote read snoop"),
+                        now);
+                }
+            } else if (mem::suppliesDataOnForward(pre) &&
+                       post != CoherenceState::Shared) {
+                report_.violate("dir.forward-degrade",
                     formatMessage("block 0x", std::hex, block, std::dec,
                                   " group ", g, " stayed ",
                                   stateName(post),
-                                  " across a remote read snoop"),
+                                  " across a forwarded GetS"),
                     now);
             }
+        }
+    }
+
+    // Directory ack accounting: every invalidation must have been
+    // acknowledged by the time its transaction retires. Report only
+    // when the outstanding delta changes, so one lost ack is one
+    // violation rather than one per subsequent access.
+    if (dir_) {
+        const std::uint64_t sent = dir_->invalidationsSent().value();
+        const std::uint64_t acked = dir_->acksReceived().value();
+        const std::uint64_t delta = sent - acked;
+        if (delta != lastAckDelta_) {
+            if (delta > lastAckDelta_) {
+                report_.violate("dir.ack-mismatch",
+                    formatMessage("block 0x", std::hex, block, std::dec,
+                                  ": directory sent ", sent,
+                                  " invalidations but received ", acked,
+                                  " acks"),
+                    now);
+            }
+            lastAckDelta_ = delta;
         }
     }
 
@@ -339,8 +444,8 @@ MemChecker::postAccess(const mem::MemRef &ref,
     if (fetchMiss ||
         (ref.type == mem::AccessType::BlockStore &&
          preL2State_ == CoherenceState::Invalid)) {
-        sh.everCached |= reqBit;
-        sh.lastInval &= ~reqBit;
+        sh.everCached.set(reqGroup);
+        sh.lastInval.clear(reqGroup);
     }
     if (write) {
         for (unsigned g = 0; g < groups_; ++g) {
@@ -349,7 +454,7 @@ MemChecker::postAccess(const mem::MemRef &ref,
             const auto pre = static_cast<CoherenceState>(preState_[g]);
             if (pre != CoherenceState::Invalid &&
                 actualState(g, block) == CoherenceState::Invalid)
-                sh.lastInval |= 1u << g;
+                sh.lastInval.set(g);
         }
         sh.golden = ++writeSeq_;
     }
@@ -395,58 +500,84 @@ MemChecker::auditFull(sim::Tick now)
 {
     struct Agg
     {
-        std::uint32_t valid = 0;
-        std::uint32_t owner = 0;
-        std::uint32_t modified = 0;
+        SharerSet valid;
+        unsigned owners = 0;
+        unsigned soles = 0; // M or E copies.
+        bool modified = false;
     };
     std::unordered_map<mem::Addr, Agg> blocks;
     for (unsigned g = 0; g < groups_; ++g) {
         h_.l2Array(g).forEach([&](const mem::CacheLine &line) {
             Agg &a = blocks[line.tag];
-            a.valid |= 1u << g;
+            if (a.valid.words() == 0 && groups_ > SharerSet::inlineBits)
+                a.valid = SharerSet(groups_);
+            a.valid.set(g);
             if (mem::isOwner(line.state))
-                a.owner |= 1u << g;
+                ++a.owners;
+            if (mem::suppliesDataOnForward(line.state))
+                ++a.soles;
             if (line.state == CoherenceState::Modified)
-                a.modified |= 1u << g;
+                a.modified = true;
         });
     }
 
     for (const auto &[block, a] : blocks) {
-        if (a.modified != 0 && std::popcount(a.valid) > 1) {
+        const bool sole = dir_ ? a.soles > 0 : a.modified;
+        if (sole && a.valid.count() > 1) {
             report_.violate("mosi.modified-not-exclusive",
                 formatMessage("audit: block 0x", std::hex, block,
-                              " Modified in mask 0x", a.modified,
-                              " with valid mask 0x", a.valid,
-                              std::dec),
+                              std::dec, " sole-copy state with valid ",
+                              a.valid.toHex()),
                 now);
         }
-        if (std::popcount(a.owner) > 1) {
+        if ((dir_ ? a.soles : a.owners) > 1) {
             report_.violate("mosi.multiple-owners",
                 formatMessage("audit: block 0x", std::hex, block,
-                              " owner mask 0x", a.owner, std::dec),
+                              std::dec, " has ",
+                              dir_ ? a.soles : a.owners,
+                              " owner copies"),
                 now);
         }
         const mem::LineMeta *meta = h_.peekMeta(block);
-        if ((meta ? meta->presenceMask : 0) != a.valid) {
+        const bool presence_ok =
+            meta ? meta->presenceMask == a.valid : a.valid.none();
+        if (!presence_ok) {
             report_.violate("meta.presence-desync",
                 formatMessage("audit: block 0x", std::hex, block,
-                              " presence 0x",
-                              meta ? meta->presenceMask : 0,
-                              " but valid mask 0x", a.valid, std::dec),
+                              std::dec, " presence ",
+                              meta ? meta->presenceMask.toHex() : "0x0",
+                              " but valid ", a.valid.toHex()),
                 now);
         }
+        if (dir_)
+            checkDirectoryBlock(block, a.valid, now, "audit: ");
     }
 
     // Presence bits claiming blocks no L2 actually holds.
     h_.forEachMeta([&](mem::Addr block, const mem::LineMeta &meta) {
-        if (meta.presenceMask == 0 || blocks.count(block))
+        if (meta.presenceMask.none() || blocks.count(block))
             return;
         report_.violate("meta.presence-desync",
-            formatMessage("audit: block 0x", std::hex, block,
-                          " presence 0x", meta.presenceMask, std::dec,
+            formatMessage("audit: block 0x", std::hex, block, std::dec,
+                          " presence ", meta.presenceMask.toHex(),
                           " but no valid L2 copy exists"),
             now);
     });
+
+    // Directory entries claiming sharers for blocks no L2 holds.
+    if (dir_) {
+        dir_->forEach([&](mem::Addr block, const mem::DirEntry &de) {
+            if ((de.sharers.none() && de.owner < 0) ||
+                blocks.count(block))
+                return;
+            report_.violate("dir.sharer-desync",
+                formatMessage("audit: block 0x", std::hex, block,
+                              std::dec, " directory records sharers ",
+                              de.sharers.toHex(), " owner ", de.owner,
+                              " but no valid L2 copy exists"),
+                now);
+        });
+    }
 
     // Full L1 inclusion.
     for (unsigned c = 0; c < cpus_; ++c) {

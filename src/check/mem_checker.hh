@@ -6,9 +6,17 @@
  * maintains an independent shadow model of every block it has seen
  * and verifies, on every access:
  *
- *  - MOSI legality: no state changes between accesses to a block
+ *  - Protocol legality: no state changes between accesses to a block
  *    except silent eviction (valid -> Invalid); at most one Modified
- *    copy, and a Modified copy is exclusive; at most one owner (M|O).
+ *    copy, and a Modified copy is exclusive; at most one owner (M|O
+ *    on the snooping bus). Under the directory protocol the MESI
+ *    rules apply instead: Exclusive is as exclusive as Modified, the
+ *    Owned state must never appear, and a forwarded owner degrades
+ *    to Shared (not Owned).
+ *  - Directory lockstep (directory protocol only): the home's sharer
+ *    vector matches the true set of valid L2 copies, its owner field
+ *    matches the actual E/M holder, and every invalidation sent has
+ *    been acknowledged by the time the transaction retires.
  *  - Data-value consistency: a flat golden memory of per-block write
  *    sequence numbers; every valid copy must hold the latest write.
  *  - L1 inclusion: no L1 may cache a block its L2 group does not hold.
@@ -37,6 +45,7 @@
 #include "check/report.hh"
 #include "mem/access_observer.hh"
 #include "mem/hierarchy.hh"
+#include "mem/sharer_set.hh"
 
 namespace middlesim::check
 {
@@ -67,6 +76,7 @@ class MemChecker final : public mem::AccessObserver
     /**
      * Audit the complete cache state (not just referenced blocks):
      * exclusivity/ownership across all valid lines, presence-mask
+     * (and, under the directory protocol, sharer-vector/owner)
      * consistency in both directions, and full L1 inclusion.
      */
     void auditFull(sim::Tick now);
@@ -78,9 +88,9 @@ class MemChecker final : public mem::AccessObserver
         /** Latest global write sequence number stored to this block. */
         std::uint64_t golden = 0;
         /** Groups that ever cached the block (mirrors LineMeta). */
-        std::uint32_t everCached = 0;
+        mem::SharerSet everCached;
         /** Groups whose copy was last removed by an invalidation. */
-        std::uint32_t lastInval = 0;
+        mem::SharerSet lastInval;
         /** CoherenceState per group, as of the last access. */
         std::vector<std::uint8_t> state;
         /** Write sequence number each group's copy holds. */
@@ -91,10 +101,17 @@ class MemChecker final : public mem::AccessObserver
     mem::CoherenceState actualState(unsigned group, mem::Addr block) const;
     mem::Addr blockOf(mem::Addr addr) const;
 
+    /** Directory-lockstep checks for one block (directory mode). */
+    void checkDirectoryBlock(mem::Addr block,
+                             const mem::SharerSet &valid_set,
+                             sim::Tick now, const char *ctx);
+
     const mem::Hierarchy &h_;
     CheckReport &report_;
     unsigned groups_;
     unsigned cpus_;
+    /** Non-null when the hierarchy runs the directory protocol. */
+    const mem::DirectoryController *dir_;
 
     std::uint64_t writeSeq_ = 0;
     std::unordered_map<mem::Addr, Shadow> shadow_;
@@ -104,8 +121,11 @@ class MemChecker final : public mem::AccessObserver
     mem::CoherenceState preL2State_ = mem::CoherenceState::Invalid;
     bool preL1Hit_ = false;
     bool preOwnerElsewhere_ = false;
-    std::uint32_t preEver_ = 0;
-    std::uint32_t preInval_ = 0;
+    mem::SharerSet preEver_;
+    mem::SharerSet preInval_;
+
+    /** Last reported sent-minus-acked delta (dedups ack reports). */
+    std::uint64_t lastAckDelta_ = 0;
 
     // GC window state.
     bool gcWindow_ = false;

@@ -35,16 +35,16 @@ constexpr bool sizePinned = !kLp64 || sizeof(T) == Expected;
                   "then re-pin the size here")
 
 MIDDLESIM_PIN_SIZE(sim::CacheParams, 16);
-MIDDLESIM_PIN_SIZE(sim::MachineConfig, 64);
-MIDDLESIM_PIN_SIZE(mem::LatencyModel, 56);
+MIDDLESIM_PIN_SIZE(sim::MachineConfig, 72);
+MIDDLESIM_PIN_SIZE(mem::LatencyModel, 72);
 MIDDLESIM_PIN_SIZE(cpu::CoreParams, 32);
 MIDDLESIM_PIN_SIZE(jvm::HeapParams, 32);
 MIDDLESIM_PIN_SIZE(jvm::JvmParams, 96);
 MIDDLESIM_PIN_SIZE(os::KernelParams, 40);
 MIDDLESIM_PIN_SIZE(workload::SpecJbbParams, 200);
 MIDDLESIM_PIN_SIZE(workload::EcperfParams, 144);
-MIDDLESIM_PIN_SIZE(SystemConfig, 344);
-MIDDLESIM_PIN_SIZE(ExperimentSpec, 744);
+MIDDLESIM_PIN_SIZE(SystemConfig, 368);
+MIDDLESIM_PIN_SIZE(ExperimentSpec, 776);
 
 #undef MIDDLESIM_PIN_SIZE
 
@@ -65,6 +65,8 @@ encodeMachine(sim::ByteWriter &w, const sim::MachineConfig &m)
     encodeCacheParams(w, m.l1d);
     encodeCacheParams(w, m.l2);
     w.u32(m.cpusPerL2);
+    w.u8(static_cast<std::uint8_t>(m.protocol));
+    w.u32(m.numaNodes);
 }
 
 void
@@ -77,6 +79,8 @@ encodeLatency(sim::ByteWriter &w, const mem::LatencyModel &l)
     w.u64(l.upgrade);
     w.u64(l.busOccupancy);
     w.u64(l.busAddrOccupancy);
+    w.u64(l.hop);
+    w.u64(l.directoryLookup);
 }
 
 void
@@ -197,6 +201,8 @@ encodeSpecKey(const ExperimentSpec &spec)
     w.u32(spec.appCpus);
     w.u32(spec.totalCpus);
     w.u32(spec.cpusPerL2);
+    w.u8(static_cast<std::uint8_t>(spec.protocol));
+    w.u32(spec.numaNodes);
     w.u32(spec.scale);
     w.u64(spec.warmup);
     w.u64(spec.measure);

@@ -12,7 +12,7 @@
  *  - an always-on in-process memo, so duplicate (spec, seed) points
  *    in one process simulate exactly once, and
  *  - an optional on-disk cache (--cache-dir=PATH / MIDDLESIM_CACHE,
- *    `middlesim-cache-v1` file format), so whole figure drivers can
+ *    `middlesim-cache-v2` file format), so whole figure drivers can
  *    re-run near-instantly across processes.
  *
  * The payload codecs round-trip bit-exactly (doubles travel as
@@ -42,7 +42,7 @@ namespace middlesim::core
  * stored results (see EXPERIMENTS.md "When to wipe the cache"); old
  * files then read as misses.
  */
-inline constexpr const char *cacheSchemaVersion = "middlesim-cache-v1";
+inline constexpr const char *cacheSchemaVersion = "middlesim-cache-v2";
 
 /**
  * Canonical, version-stamped structural encoding of an ExperimentSpec:

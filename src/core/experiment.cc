@@ -64,6 +64,8 @@ buildSystem(const ExperimentSpec &spec, BuiltWorkload &out)
     cfg.machine.totalCpus = spec.totalCpus;
     cfg.machine.appCpus = spec.appCpus;
     cfg.machine.cpusPerL2 = spec.cpusPerL2;
+    cfg.machine.protocol = spec.protocol;
+    cfg.machine.numaNodes = spec.numaNodes;
 
     auto system = std::make_unique<System>(cfg, spec.seed);
     if (check::checkingEnabled())

@@ -54,6 +54,11 @@ struct ExperimentSpec
     /** CPUs per shared L2 (1 = private; Figure 16 uses 2/4/8). */
     unsigned cpusPerL2 = 1;
 
+    /** Coherence protocol (snooping bus or directory MESI). */
+    sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
+    /** NUMA nodes (directory protocol; 1 = flat UMA machine). */
+    unsigned numaNodes = 1;
+
     /** Warehouses (SPECjbb) or Orders Injection Rate (ECperf);
      *  0 selects the auto rule (warehouses = appCpus, OIR = 8). */
     unsigned scale = 0;

@@ -55,6 +55,8 @@ scalingSpec(WorkloadKind kind, unsigned cpus, const FigureOptions &opt)
     spec.workload = kind;
     spec.appCpus = cpus;
     spec.seed = opt.seed;
+    spec.protocol = opt.protocol;
+    spec.numaNodes = opt.numaNodes;
     spec.warmup = static_cast<sim::Tick>(
         static_cast<double>(spec.warmup) * opt.timeScale);
     spec.measure = static_cast<sim::Tick>(
@@ -81,6 +83,17 @@ FigureOptions::fromEnv()
         if (v > 0.0)
             opt.timeScale = v;
     }
+    if (const char *proto = std::getenv("MIDDLESIM_PROTOCOL")) {
+        if (*proto != '\0' &&
+            !sim::parseProtocol(proto, opt.protocol))
+            fatal("MIDDLESIM_PROTOCOL: unknown protocol '", proto,
+                  "' (want snoop or directory)");
+    }
+    if (const char *nodes = std::getenv("MIDDLESIM_NUMA_NODES")) {
+        const int v = std::atoi(nodes);
+        if (v >= 1)
+            opt.numaNodes = static_cast<unsigned>(v);
+    }
     if (opt.runs == 0)
         opt.runs = 1;
     return opt;
@@ -98,10 +111,12 @@ struct SweepCacheEntry
 SweepCacheEntry &
 scalingSweepEntry(const FigureOptions &opt)
 {
-    using Key = std::tuple<unsigned, long, std::uint64_t>;
+    using Key =
+        std::tuple<unsigned, long, std::uint64_t, unsigned, unsigned>;
     static std::map<Key, SweepCacheEntry> cache;
     const Key key{opt.runs, std::lround(opt.timeScale * 1000),
-                  opt.seed};
+                  opt.seed, static_cast<unsigned>(opt.protocol),
+                  opt.numaNodes};
     auto it = cache.find(key);
     if (it != cache.end())
         return it->second;
@@ -272,9 +287,15 @@ runFig05(const FigureOptions &opt)
                       fmt(ji, 1), fmt(jg, 1)});
     }
 
+    // Part of the system-time rise is bus queueing inside kernel
+    // paths; the directory plane removes it, so the growth floor
+    // softens there (the absolute 20% floor still applies).
+    const bool fig5_bus =
+        opt.protocol == sim::CoherenceProtocol::SnoopBus;
     fig.checks.push_back(check(
         "ECperf system time grows substantially with CPUs",
-        ec_sys.yAt(15) >= 2.2 * ec_sys.yAt(1) && ec_sys.yAt(15) >= 20.0,
+        ec_sys.yAt(15) >= (fig5_bus ? 2.2 : 1.8) * ec_sys.yAt(1) &&
+            ec_sys.yAt(15) >= 20.0,
         "system(1)=" + fmt(ec_sys.yAt(1), 1) + "% system(15)=" +
             fmt(ec_sys.yAt(15), 1) + "%"));
     fig.checks.push_back(check(
@@ -349,12 +370,17 @@ runFig06(const FigureOptions &opt)
 
     // Residual gap (EXPERIMENTS.md): the paper reports +40%/+33%;
     // our sparser reference stream yields a shallower but clearly
-    // monotone rise driven by memory-system stalls.
+    // monotone rise driven by memory-system stalls. The paper's
+    // growth figures are for a snooping bus; a directory machine has
+    // no shared-bus queueing, so its CPI rise is milder — that is the
+    // point of a directory — and the floor softens accordingly.
     const double ec_growth = ec_cpi.yAt(15) / ec_cpi.yAt(1);
     const double jbb_growth = jbb_cpi.yAt(15) / jbb_cpi.yAt(1);
+    const bool on_bus = opt.protocol == sim::CoherenceProtocol::SnoopBus;
     fig.checks.push_back(check(
         "CPI grows with processor count (both workloads)",
-        ec_growth > 1.08 && jbb_growth > 1.03,
+        ec_growth > (on_bus ? 1.08 : 1.02) &&
+            jbb_growth > (on_bus ? 1.03 : 1.02),
         "ecperf x" + fmt(ec_growth) + " jbb x" + fmt(jbb_growth)));
     fig.checks.push_back(check(
         "Memory-system stalls drive the CPI increase",
@@ -501,11 +527,23 @@ runFig08(const FigureOptions &opt)
 
     // Residual gap (EXPERIMENTS.md): the paper reaches >60% at 14
     // CPUs; our capacity-miss denominator stays larger, so the rise
-    // is steep in relative terms but tops out near 15-30%.
+    // is steep in relative terms but tops out near 15-30%. The rise
+    // itself is a MOSI-bus claim: an O-state owner supplies every
+    // reader, so dirty sharing converts misses to c2c transfers as
+    // CPUs are added. Directory MESI has no O state — clean sharers
+    // are served by the home — so there the qualitative claim is
+    // only that communication stays substantial, not that its share
+    // keeps rising.
+    const bool fig8_bus =
+        opt.protocol == sim::CoherenceProtocol::SnoopBus;
     fig.checks.push_back(check(
-        "ratio rises substantially with processor count",
-        jbb.yAt(14) >= 1.4 * jbb.yAt(2) && jbb.yAt(14) >= 11.0 &&
-            ec.yAt(14) >= 1.4 * ec.yAt(2),
+        fig8_bus ? "ratio rises substantially with processor count"
+                 : "c2c share stays substantial (MESI: home serves "
+                   "clean sharers, no O-state supply)",
+        fig8_bus ? (jbb.yAt(14) >= 1.4 * jbb.yAt(2) &&
+                    jbb.yAt(14) >= 11.0 &&
+                    ec.yAt(14) >= 1.4 * ec.yAt(2))
+                 : (jbb.yAt(14) >= 8.0 && ec.yAt(14) >= 15.0),
         "jbb " + fmt(jbb.yAt(2), 1) + "% -> " + fmt(jbb.yAt(14), 1) +
             "%, ec " + fmt(ec.yAt(2), 1) + "% -> " +
             fmt(ec.yAt(14), 1) + "%"));

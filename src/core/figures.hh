@@ -33,9 +33,16 @@ struct FigureOptions
     double timeScale = 1.0;
     std::uint64_t seed = 1;
 
+    /** Coherence protocol applied to every measured point. */
+    sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
+    /** NUMA node count (directory protocol; 1 = flat UMA machine). */
+    unsigned numaNodes = 1;
+
     /**
-     * Honors MIDDLESIM_RUNS and MIDDLESIM_QUICK (=1: single run,
-     * 0.5x intervals) environment variables.
+     * Honors MIDDLESIM_RUNS, MIDDLESIM_QUICK (=1: single run, 0.5x
+     * intervals), MIDDLESIM_TIMESCALE, MIDDLESIM_PROTOCOL
+     * (snoop|directory) and MIDDLESIM_NUMA_NODES environment
+     * variables.
      */
     static FigureOptions fromEnv();
 };

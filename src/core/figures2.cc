@@ -7,6 +7,7 @@
 #include <cmath>
 #include <future>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <sstream>
 
@@ -48,6 +49,8 @@ baseSpec(WorkloadKind kind, unsigned cpus, const FigureOptions &opt)
     spec.workload = kind;
     spec.appCpus = cpus;
     spec.seed = opt.seed;
+    spec.protocol = opt.protocol;
+    spec.numaNodes = opt.numaNodes;
     spec.warmup = static_cast<sim::Tick>(
         static_cast<double>(spec.warmup) * opt.timeScale);
     spec.measure = static_cast<sim::Tick>(
@@ -103,6 +106,7 @@ sweepPointSpec(WorkloadKind kind, unsigned scale,
 {
     ExperimentSpec spec = baseSpec(kind, 1, opt);
     spec.totalCpus = 1; // uniprocessor full-system configuration
+    spec.numaNodes = 1; // a one-CPU machine is a single node
     spec.scale = scale;
     // A single CPU progresses slowly; use a longer interval so large
     // caches see enough references.
@@ -193,6 +197,11 @@ sharedCacheSpec(WorkloadKind kind, unsigned scale,
     spec.totalCpus = 8;
     spec.cpusPerL2 = cpus_per_l2;
     spec.scale = scale;
+    // The sharing sweep varies the L2 group count (8 CPUs at degrees
+    // 1..8), so a fixed --numa-nodes cannot divide every point; keep
+    // the largest topology consistent with each geometry.
+    spec.numaNodes = std::gcd(spec.numaNodes,
+                              spec.totalCpus / spec.cpusPerL2);
     return spec;
 }
 

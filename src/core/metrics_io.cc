@@ -12,6 +12,12 @@ pointName(const ExperimentSpec &spec)
     name += "/total=" + std::to_string(spec.totalCpus);
     name += "/l2x" + std::to_string(spec.cpusPerL2);
     name += "/scale=" + std::to_string(spec.resolvedScale());
+    // Non-default protocol/topology only, so every point name of the
+    // existing snooping-bus corpus is unchanged.
+    if (spec.protocol != sim::CoherenceProtocol::SnoopBus)
+        name += std::string("/") + sim::toString(spec.protocol);
+    if (spec.numaNodes != 1)
+        name += "/numa=" + std::to_string(spec.numaNodes);
     name += "/seed=" + std::to_string(spec.seed);
     return name;
 }

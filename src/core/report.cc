@@ -54,6 +54,8 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
     std::string cache_dir;
     std::string trace_out;
     std::string trace_in;
+    std::string protocol_flag;
+    unsigned numa_nodes = 0;
     bool no_cache = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -84,6 +86,19 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
             if (trace_in.empty())
                 fatal("figureMain: bad flag '", arg,
                            "' (want --trace-in=DIR)");
+        } else if (arg.rfind("--protocol=", 0) == 0) {
+            protocol_flag = arg.substr(11);
+            sim::CoherenceProtocol p;
+            if (!sim::parseProtocol(protocol_flag, p))
+                fatal("figureMain: bad flag '", arg,
+                      "' (want --protocol=snoop|directory)");
+        } else if (arg.rfind("--numa-nodes=", 0) == 0) {
+            const long nodes =
+                std::strtol(arg.c_str() + 13, nullptr, 10);
+            if (nodes < 1)
+                fatal("figureMain: bad flag '", arg,
+                      "' (want --numa-nodes=N with N >= 1)");
+            numa_nodes = static_cast<unsigned>(nodes);
         } else if (arg == "--no-cache") {
             no_cache = true;
         } else if (arg == "--check") {
@@ -92,7 +107,8 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
             fatal("figureMain: unknown flag '", arg,
                        "' (supported: --jobs=N, --metrics-out=PATH, "
                        "--cache-dir=PATH, --no-cache, --check, "
-                       "--trace-out=DIR, --trace-in=DIR)");
+                       "--trace-out=DIR, --trace-in=DIR, "
+                       "--protocol=snoop|directory, --numa-nodes=N)");
         }
     }
     // A cached result was produced without the checkers watching;
@@ -102,7 +118,11 @@ figureMain(FigureResult (*harness)(const FigureOptions &), int argc,
     configureRunCache(cache_dir, no_cache);
     configureTracingFromFlags(trace_out, trace_in);
 
-    const FigureOptions opt = FigureOptions::fromEnv();
+    FigureOptions opt = FigureOptions::fromEnv();
+    if (!protocol_flag.empty())
+        sim::parseProtocol(protocol_flag, opt.protocol);
+    if (numa_nodes != 0)
+        opt.numaNodes = numa_nodes;
     const FigureResult fig = harness(opt);
     printFigure(fig, std::cout);
     if (!metrics_out.empty()) {

@@ -35,7 +35,9 @@ void configureRunCache(const std::string &cache_dir, bool no_cache);
  * wins). `--jobs=1` forces fully serial execution. `--cache-dir=PATH`
  * / `--no-cache` control the persistent run cache (see
  * configureRunCache); `--metrics-out=PATH` writes the figure's
- * metrics document.
+ * metrics document. `--protocol=snoop|directory` and `--numa-nodes=N`
+ * override the coherence protocol / NUMA topology of every measured
+ * point (equivalent to MIDDLESIM_PROTOCOL / MIDDLESIM_NUMA_NODES).
  */
 int figureMain(FigureResult (*harness)(const FigureOptions &),
                int argc = 0, char **argv = nullptr);

@@ -242,6 +242,8 @@ runAllMain(int argc, char **argv)
     std::string trace_in;
     std::string fabric_worker_cmd;
     std::string fabric_metrics_out;
+    std::string protocol_flag;
+    unsigned numa_nodes = 0;
     bool no_cache = false;
     bool fabric_worker = false;
     unsigned fabric_workers = 0;
@@ -278,6 +280,19 @@ runAllMain(int argc, char **argv)
             if (trace_in.empty())
                 fatal("run_all: bad flag '", arg,
                       "' (want --trace-in=DIR)");
+        } else if (arg.rfind("--protocol=", 0) == 0) {
+            protocol_flag = arg.substr(11);
+            sim::CoherenceProtocol p;
+            if (!sim::parseProtocol(protocol_flag, p))
+                fatal("run_all: bad flag '", arg,
+                      "' (want --protocol=snoop|directory)");
+        } else if (arg.rfind("--numa-nodes=", 0) == 0) {
+            const long nodes =
+                std::strtol(arg.c_str() + 13, nullptr, 10);
+            if (nodes < 1)
+                fatal("run_all: bad flag '", arg,
+                      "' (want --numa-nodes=N with N >= 1)");
+            numa_nodes = static_cast<unsigned>(nodes);
         } else if (arg == "--no-cache") {
             no_cache = true;
         } else if (arg == "--check") {
@@ -305,6 +320,7 @@ runAllMain(int argc, char **argv)
                   "' (supported: --jobs=N, --metrics-dir=DIR, "
                   "--stats-out=PATH, --cache-dir=PATH, --no-cache, "
                   "--check, --trace-out=DIR, --trace-in=DIR, "
+                  "--protocol=snoop|directory, --numa-nodes=N, "
                   "--fabric=N, --fabric-worker, "
                   "--fabric-worker-cmd=CMD, "
                   "--fabric-metrics-out=PATH)");
@@ -335,7 +351,14 @@ runAllMain(int argc, char **argv)
     configureRunCache(cache_dir, no_cache);
     configureTracingFromFlags(trace_out, trace_in);
 
-    const FigureOptions opt = FigureOptions::fromEnv();
+    FigureOptions opt = FigureOptions::fromEnv();
+    // The protocol/topology knobs apply to every figure point (the
+    // worker must inherit them through its command line or env so the
+    // coordinator and workers build the same queue).
+    if (!protocol_flag.empty())
+        sim::parseProtocol(protocol_flag, opt.protocol);
+    if (numa_nodes != 0)
+        opt.numaNodes = numa_nodes;
 
     // Worker side of the fabric: same queue, leases in on stdin,
     // results out on stdout. Everything else about this process is
@@ -382,6 +405,12 @@ runAllMain(int argc, char **argv)
             fopt.workerArgv = {fabric::selfExePath(),
                                "--fabric-worker",
                                "--cache-dir=" + disk};
+            if (!protocol_flag.empty())
+                fopt.workerArgv.push_back("--protocol=" +
+                                          protocol_flag);
+            if (numa_nodes != 0)
+                fopt.workerArgv.push_back(
+                    "--numa-nodes=" + std::to_string(numa_nodes));
         }
         std::fprintf(stderr,
                      "run_all: fabric: %u worker(s), artifact plane "

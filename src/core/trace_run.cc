@@ -102,6 +102,8 @@ traceHeaderFor(System &system, const ExperimentSpec &spec)
     header.totalCpus = m.totalCpus;
     header.appCpus = m.appCpus;
     header.cpusPerL2 = m.cpusPerL2;
+    header.protocol = m.protocol;
+    header.numaNodes = m.numaNodes;
     header.l1i = m.l1i;
     header.l1d = m.l1d;
     header.l2 = m.l2;

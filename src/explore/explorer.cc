@@ -285,6 +285,11 @@ reportJson(const ExploreResult &result, const ReportConfig &config)
                   config.refs,
                   static_cast<unsigned long long>(config.seed));
     out += buf;
+    out += "  \"protocol\": \"" +
+           std::string(sim::toString(config.protocol)) + "\",\n";
+    std::snprintf(buf, sizeof buf, "  \"numa_nodes\": %u,\n",
+                  config.numaNodes);
+    out += buf;
     out += "  \"inject\": \"" + jsonEscape(config.inject) + "\",\n";
     std::snprintf(buf, sizeof buf,
                   "  \"depth_budget\": %u,\n  \"dpor\": %s,\n",

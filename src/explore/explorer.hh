@@ -113,6 +113,8 @@ struct ReportConfig
 {
     unsigned cpus = 0;
     unsigned cpusPerL2 = 1;
+    sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
+    unsigned numaNodes = 1;
     unsigned blocks = 0;
     unsigned refs = 0;
     std::uint64_t seed = 0;

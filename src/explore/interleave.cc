@@ -28,7 +28,8 @@ l2SetOf(mem::Addr addr, const trace::TraceHeader &h)
 } // namespace
 
 trace::TraceHeader
-exploreHeader(unsigned cpus, unsigned cpus_per_l2, std::uint64_t seed)
+exploreHeader(unsigned cpus, unsigned cpus_per_l2, std::uint64_t seed,
+              sim::CoherenceProtocol protocol, unsigned numa_nodes)
 {
     trace::TraceHeader h;
     h.specKey = "";
@@ -36,6 +37,8 @@ exploreHeader(unsigned cpus, unsigned cpus_per_l2, std::uint64_t seed)
     h.totalCpus = cpus;
     h.appCpus = cpus;
     h.cpusPerL2 = cpus_per_l2;
+    h.protocol = protocol;
+    h.numaNodes = numa_nodes;
     // Small but real geometry: the block pool fits with room to
     // spare, so exploration never depends on victim-selection order
     // (the engine still reports capacity misses should one occur).

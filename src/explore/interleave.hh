@@ -19,8 +19,13 @@
  * Cross-group loads of the same block are deliberately independent: in
  * MOSI a load only performs I->S for the requester and M->O for a
  * snooped owner, and those transitions commute with other loads. The
+ * same holds for directory MESI: two loads of a clean block race for
+ * the transient E grant, but whichever order they land in, the second
+ * GetS degrades the E holder and both finish Shared with no owner —
+ * the states converge and no invariant can tell the orders apart. The
  * dpor-vs-naive cross-check in tests/test_explore.cpp validates this
- * relation empirically on exhaustively enumerable geometries.
+ * relation empirically on exhaustively enumerable geometries, for
+ * both protocols.
  */
 
 #ifndef EXPLORE_INTERLEAVE_HH
@@ -38,9 +43,17 @@ namespace middlesim::explore
 /** One fixed reference sequence per CPU. */
 using Streams = std::vector<std::vector<mem::MemRef>>;
 
-/** A small-geometry machine for exploration runs. */
-trace::TraceHeader exploreHeader(unsigned cpus, unsigned cpus_per_l2,
-                                 std::uint64_t seed);
+/**
+ * A small-geometry machine for exploration runs. The default
+ * protocol/topology is the snooping bus on a flat machine; directory
+ * geometries (with any L2-group-dividing NUMA node count) explore the
+ * same streams under the directory MESI protocol.
+ */
+trace::TraceHeader
+exploreHeader(unsigned cpus, unsigned cpus_per_l2, std::uint64_t seed,
+              sim::CoherenceProtocol protocol =
+                  sim::CoherenceProtocol::SnoopBus,
+              unsigned numa_nodes = 1);
 
 /**
  * Deterministic per-CPU streams: `refs` references total, dealt

@@ -11,6 +11,13 @@
  * probing — one cache line touched per lookup in the common case, no
  * per-access allocation — rather than a node-based unordered_map.
  *
+ * Sharer-group sets are width-parameterized SharerSets (see
+ * sharer_set.hh): geometries up to 64 groups stay inline, wider
+ * directory geometries spill to heap words. The table is templated on
+ * its entry type so the directory controller can reuse the probing
+ * machinery for its own per-block entries; new entries are copied
+ * from a prototype sized for the machine's group count.
+ *
  * Keys are block-aligned addresses. Entries are never individually
  * erased (blocks keep their cold/coherence history for the lifetime
  * of the run); the whole table is rebuilt only on invalidateAll().
@@ -20,10 +27,10 @@
 #define MEM_BLOCK_META_HH
 
 #include <cstdint>
-#include <limits>
 #include <vector>
 
 #include "mem/memref.hh"
+#include "mem/sharer_set.hh"
 
 namespace middlesim::mem
 {
@@ -32,26 +39,34 @@ namespace middlesim::mem
 struct LineMeta
 {
     /** Groups that cached the block at some point (cold-miss filter). */
-    std::uint32_t everCachedMask = 0;
+    SharerSet everCachedMask;
     /** Groups whose copy was last removed by an invalidation. */
-    std::uint32_t invalidatedMask = 0;
+    SharerSet invalidatedMask;
     /** Groups holding a valid copy right now (snoop filter). */
-    std::uint32_t presenceMask = 0;
+    SharerSet presenceMask;
     /** LineMeta::Touched etc. */
     std::uint32_t flags = 0;
 
     static constexpr std::uint32_t Touched = 1u << 0;
 
-    /** Widest group index the masks can represent. */
-    static constexpr unsigned maxGroups =
-        std::numeric_limits<std::uint32_t>::digits;
+    LineMeta() = default;
+
+    /** A meta record sized for `num_groups` sharer groups. */
+    explicit LineMeta(unsigned num_groups)
+        : everCachedMask(num_groups),
+          invalidatedMask(num_groups),
+          presenceMask(num_groups)
+    {}
 };
 
-/** Open-addressed Addr -> LineMeta map (linear probing, pow2 size). */
-class BlockMetaTable
+/** Open-addressed Addr -> Meta map (linear probing, pow2 size). */
+template <typename Meta>
+class BlockMetaTableT
 {
   public:
-    explicit BlockMetaTable(std::size_t initial_slots = 1u << 18)
+    explicit BlockMetaTableT(std::size_t initial_slots = 1u << 18,
+                             Meta prototype = Meta{})
+        : proto_(std::move(prototype))
     {
         std::size_t cap = 16;
         while (cap < initial_slots)
@@ -61,7 +76,7 @@ class BlockMetaTable
     }
 
     /** Find-or-insert; the reference is valid until the next insert. */
-    LineMeta &
+    Meta &
     operator[](Addr block)
     {
         Slot &slot = probe(block);
@@ -70,27 +85,29 @@ class BlockMetaTable
                 grow();
                 Slot &fresh = probe(block);
                 fresh.key = block;
+                fresh.meta = proto_;
                 ++size_;
                 return fresh.meta;
             }
             slot.key = block;
+            slot.meta = proto_;
             ++size_;
         }
         return slot.meta;
     }
 
     /** Lookup without insertion; nullptr when absent. */
-    LineMeta *
+    Meta *
     find(Addr block)
     {
         Slot &slot = probe(block);
         return slot.key == kEmpty ? nullptr : &slot.meta;
     }
 
-    const LineMeta *
+    const Meta *
     find(Addr block) const
     {
-        return const_cast<BlockMetaTable *>(this)->find(block);
+        return const_cast<BlockMetaTableT *>(this)->find(block);
     }
 
     /** Number of blocks with metadata. */
@@ -130,7 +147,7 @@ class BlockMetaTable
     struct Slot
     {
         Addr key = kEmpty;
-        LineMeta meta;
+        Meta meta;
     };
 
     /** Blocks are block-aligned, so an all-ones key can't collide. */
@@ -163,20 +180,23 @@ class BlockMetaTable
         old.swap(slots_);
         slots_.assign(old.size() * 2, Slot{});
         mask_ = slots_.size() - 1;
-        for (const Slot &slot : old) {
+        for (Slot &slot : old) {
             if (slot.key == kEmpty)
                 continue;
             std::size_t i = hash(slot.key) & mask_;
             while (slots_[i].key != kEmpty)
                 i = (i + 1) & mask_;
-            slots_[i] = slot;
+            slots_[i] = std::move(slot);
         }
     }
 
+    Meta proto_;
     std::vector<Slot> slots_;
     std::size_t mask_ = 0;
     std::size_t size_ = 0;
 };
+
+using BlockMetaTable = BlockMetaTableT<LineMeta>;
 
 } // namespace middlesim::mem
 

@@ -18,13 +18,21 @@
 namespace middlesim::mem
 {
 
-/** MOSI stable states, encoded to fit cache line metadata. */
+/**
+ * Stable coherence states, encoded to fit cache line metadata. The
+ * snooping bus uses the MOSI subset (Owned is a degraded Modified
+ * that keeps supplying data); the directory protocol uses the MESI
+ * subset (Exclusive is a clean sole copy granted when the directory
+ * sees no other sharer, enabling silent E->M write upgrades). No
+ * protocol produces both Owned and Exclusive.
+ */
 enum class CoherenceState : std::uint8_t
 {
     Invalid = 0,
     Shared = 1,
     Owned = 2,
     Modified = 3,
+    Exclusive = 4,
 };
 
 /** Bus request kinds issued on an L2 miss or upgrade. */
@@ -45,7 +53,12 @@ canRead(CoherenceState s)
     return s != CoherenceState::Invalid;
 }
 
-/** True if the state grants write permission. */
+/**
+ * True if the state grants write permission without any coherence
+ * transaction. Exclusive is excluded on purpose: a store to E
+ * upgrades silently to M (no message), but the state change must
+ * still be recorded, so the access path handles E explicitly.
+ */
 constexpr bool
 canWrite(CoherenceState s)
 {
@@ -57,6 +70,18 @@ constexpr bool
 isOwner(CoherenceState s)
 {
     return s == CoherenceState::Modified || s == CoherenceState::Owned;
+}
+
+/**
+ * True if a directory forward to this cache yields a cache-to-cache
+ * transfer: the sole-copy states (the directory never forwards to a
+ * mere sharer — the home supplies data instead).
+ */
+constexpr bool
+suppliesDataOnForward(CoherenceState s)
+{
+    return s == CoherenceState::Modified ||
+           s == CoherenceState::Exclusive;
 }
 
 /** True if eviction of a line in this state requires a writeback. */
@@ -95,6 +120,7 @@ toString(CoherenceState s)
       case CoherenceState::Shared: return "S";
       case CoherenceState::Owned: return "O";
       case CoherenceState::Modified: return "M";
+      case CoherenceState::Exclusive: return "E";
     }
     return "?";
 }

@@ -1,0 +1,32 @@
+#include "mem/directory/directory.hh"
+
+namespace middlesim::mem
+{
+
+DirectoryController::DirectoryController(unsigned num_groups,
+                                         sim::MetricRegistry *metrics)
+    : entries_(1u << 16, DirEntry(num_groups))
+{
+    auto bind = [&](sim::Counter *&slot, const char *name, unsigned i) {
+        slot = metrics ? &metrics->counter(name) : &fallback_[i];
+    };
+    bind(getS_, "mem.dir.get_s", 0);
+    bind(getM_, "mem.dir.get_m", 1);
+    bind(upgrades_, "mem.dir.upgrades", 2);
+    bind(forwards_, "mem.dir.forwards", 3);
+    bind(invalidationsSent_, "mem.dir.invalidations_sent", 4);
+    bind(acksReceived_, "mem.dir.acks_received", 5);
+    bind(writebacksToHome_, "mem.dir.writebacks_home", 6);
+    bind(putNotices_, "mem.dir.put_notices", 7);
+    bind(localMisses_, "mem.numa.local_misses", 8);
+    bind(remoteMisses_, "mem.numa.remote_misses", 9);
+    bind(hopsTraversed_, "mem.numa.hops", 10);
+}
+
+void
+DirectoryController::clear()
+{
+    entries_.clear();
+}
+
+} // namespace middlesim::mem

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Full-map directory state for the many-core MESI protocol plane.
+ *
+ * Each block has one home NUMA node (physical memory is
+ * block-interleaved across nodes). The home keeps a directory entry
+ * per block it has ever served: a width-parameterized sharer vector
+ * (one bit per L2 group) plus the owning group when a sole copy is
+ * outstanding in Exclusive or Modified. A requester sends GetS/GetM
+ * to the home; the home answers from memory, or forwards to the owner
+ * (a 3-hop transaction ending in a cache-to-cache transfer), or
+ * invalidates sharers and collects acks. Replacements notify the home
+ * (PutS/PutE/PutM), so in a fault-free run the sharer vector is exact
+ * — precisely the invariant the directory checker in src/check/
+ * audits against the real cache states.
+ *
+ * The controller also carries the protocol's message accounting
+ * (requests, forwards, invalidations, acks, home writebacks, put
+ * notices) and the NUMA traffic split (local vs. remote misses, hops
+ * traversed), surfaced through MetricRegistry as `mem.dir.*` /
+ * `mem.numa.*` — registered only when the directory protocol is
+ * active, so snooping-bus metric output is byte-identical to before
+ * this subsystem existed.
+ */
+
+#ifndef MEM_DIRECTORY_DIRECTORY_HH
+#define MEM_DIRECTORY_DIRECTORY_HH
+
+#include <cstdint>
+
+#include "mem/block_meta.hh"
+#include "mem/memref.hh"
+#include "mem/sharer_set.hh"
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+
+namespace middlesim::mem
+{
+
+/** Home-node directory record for one block. */
+struct DirEntry
+{
+    /** L2 groups the directory believes hold a copy. */
+    SharerSet sharers;
+    /** Group holding the block Exclusive/Modified; -1 when none. */
+    std::int32_t owner = -1;
+
+    DirEntry() = default;
+
+    explicit DirEntry(unsigned num_groups) : sharers(num_groups) {}
+};
+
+/**
+ * The directory protocol's bookkeeping plane: per-block entries plus
+ * message/NUMA accounting. Transition logic lives in the Hierarchy's
+ * directory access path (mem/directory/dir_access.cc), which mutates
+ * entries through this controller.
+ */
+class DirectoryController
+{
+  public:
+    /**
+     * @param metrics registry for the mem.dir.* / mem.numa.* counters;
+     *        nullptr counts into private fallbacks (tests).
+     */
+    DirectoryController(unsigned num_groups,
+                        sim::MetricRegistry *metrics);
+
+    /** Find-or-create the entry for a block-aligned address. */
+    DirEntry &entry(Addr block) { return entries_[block]; }
+
+    /** Lookup without insertion; nullptr when the home never saw it. */
+    const DirEntry *peek(Addr block) const
+    {
+        return entries_.find(block);
+    }
+
+    /** Visit every directory entry (checker audits). */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        entries_.forEach(std::forward<F>(fn));
+    }
+
+    /** Drop all entries (invalidateAll). */
+    void clear();
+
+    // Message accounting, bumped by the access path.
+    sim::Counter &getS() { return *getS_; }
+    sim::Counter &getM() { return *getM_; }
+    sim::Counter &upgrades() { return *upgrades_; }
+    sim::Counter &forwards() { return *forwards_; }
+    sim::Counter &invalidationsSent() { return *invalidationsSent_; }
+    sim::Counter &acksReceived() { return *acksReceived_; }
+    sim::Counter &writebacksToHome() { return *writebacksToHome_; }
+    sim::Counter &putNotices() { return *putNotices_; }
+    sim::Counter &localMisses() { return *localMisses_; }
+    sim::Counter &remoteMisses() { return *remoteMisses_; }
+    sim::Counter &hopsTraversed() { return *hopsTraversed_; }
+
+    const sim::Counter &invalidationsSent() const
+    {
+        return *invalidationsSent_;
+    }
+
+    const sim::Counter &acksReceived() const { return *acksReceived_; }
+
+  private:
+    BlockMetaTableT<DirEntry> entries_;
+
+    sim::Counter *getS_;
+    sim::Counter *getM_;
+    sim::Counter *upgrades_;
+    sim::Counter *forwards_;
+    sim::Counter *invalidationsSent_;
+    sim::Counter *acksReceived_;
+    sim::Counter *writebacksToHome_;
+    sim::Counter *putNotices_;
+    sim::Counter *localMisses_;
+    sim::Counter *remoteMisses_;
+    sim::Counter *hopsTraversed_;
+    sim::Counter fallback_[11];
+};
+
+} // namespace middlesim::mem
+
+#endif // MEM_DIRECTORY_DIRECTORY_HH

@@ -46,6 +46,13 @@ struct FaultPlan
          * L1 copies, breaking L1 subset inclusion.
          */
         SkipL1BackInvalidate,
+        /**
+         * Directory only: an invalidation is delivered (the sharer's
+         * copy really dies) but its ack never reaches the home, so
+         * the directory's sharer vector keeps a stale bit — the
+         * classic lost-ack/stale-sharer-vector defect.
+         */
+        DropInvalAck,
     };
 
     Kind kind = Kind::None;
@@ -53,8 +60,11 @@ struct FaultPlan
     std::uint64_t period = 4;
     /** Perturbs which blocks match (varied by the stress driver). */
     std::uint64_t salt = 0;
-    /** L2 groups whose copy the fault affects. */
-    std::uint32_t groupMask = ~0u;
+    /**
+     * L2 groups whose copy the fault affects. Group indices wrap at
+     * 64 so wide directory geometries still select victims.
+     */
+    std::uint64_t groupMask = ~std::uint64_t{0};
 
     /** True if the fault fires for (block, victim group). */
     bool
@@ -62,7 +72,7 @@ struct FaultPlan
     {
         if (kind == Kind::None || period == 0)
             return false;
-        if (!((groupMask >> group) & 1u))
+        if (!((groupMask >> (group & 63u)) & 1u))
             return false;
         return ((block >> 6) + salt) % period == 0;
     }
@@ -77,6 +87,7 @@ toString(FaultPlan::Kind k)
       case FaultPlan::Kind::DropInvalidate:       return "drop-invalidate";
       case FaultPlan::Kind::KeepOwnerOnSnoop:     return "keep-owner";
       case FaultPlan::Kind::SkipL1BackInvalidate: return "skip-l1-back-inval";
+      case FaultPlan::Kind::DropInvalAck:         return "drop-ack";
     }
     return "?";
 }

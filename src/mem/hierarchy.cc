@@ -22,11 +22,28 @@ Hierarchy::Hierarchy(const sim::MachineConfig &config,
         ? &metrics->counter("mem.coherence.copybacks_supplied")
         : &fallbackCounters_[2];
     cfg_.validate();
-    // The removal-cause and presence masks carry one bit per L2
-    // group; beyond that width classification would silently alias.
-    if (cfg_.numL2s() > LineMeta::maxGroups) {
-        fatal("hierarchy: ", cfg_.numL2s(), " L2 groups exceed the ",
-              LineMeta::maxGroups, "-bit per-block metadata masks");
+    // Per-block sharer sets carry one bit per L2 group; each protocol
+    // declares how wide a machine it supports. The snooping bus keeps
+    // its historical ceiling — every L2 observes every transaction,
+    // and the model was only ever validated at bus scales — while the
+    // directory's full-map vectors are width-parameterized up to a
+    // sanity bound.
+    if (cfg_.protocol == sim::CoherenceProtocol::SnoopBus &&
+        cfg_.numL2s() > kMaxSnoopGroups) {
+        fatal("hierarchy: ", cfg_.numL2s(),
+              " L2 groups exceed kMaxSnoopGroups=", kMaxSnoopGroups,
+              " for the snooping bus; select --protocol=directory "
+              "for many-core geometries");
+    }
+    if (cfg_.numL2s() > kMaxDirectoryGroups) {
+        fatal("hierarchy: ", cfg_.numL2s(),
+              " L2 groups exceed kMaxDirectoryGroups=",
+              kMaxDirectoryGroups);
+    }
+    meta_ = BlockMetaTable(1u << 18, LineMeta(cfg_.numL2s()));
+    if (cfg_.protocol == sim::CoherenceProtocol::DirectoryMesi) {
+        dir_ = std::make_unique<DirectoryController>(cfg_.numL2s(),
+                                                     metrics);
     }
 
     l1i_.reserve(cfg_.totalCpus);
@@ -109,6 +126,9 @@ AccessResult
 Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
                     bool want_write)
 {
+    if (dir_)
+        return l2AccessDirectory(ref, now, is_instr, want_write);
+
     CacheStats &st = stats_[ref.cpu];
     const unsigned group = groupOf(ref.cpu);
     CacheArray &l2 = l2_[group];
@@ -126,17 +146,13 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
         }
         // Ownership upgrade: we hold S or O data; invalidate peers.
         LineMeta &meta = meta_[block];
-        std::uint32_t peers =
-            meta.presenceMask & ~(1u << group);
-        while (peers) {
-            const unsigned g =
-                static_cast<unsigned>(std::countr_zero(peers));
-            peers &= peers - 1;
+        const SharerSet peers = meta.presenceMask;
+        peers.forEachSetExcept(group, [&](unsigned g) {
             CacheLine *peer = l2_[g].find(ref.addr);
             sim_assert(peer, "presence mask out of sync (upgrade)");
             if (!faultFires(FaultPlan::Kind::DropInvalidate, block, g))
                 invalidateForRemoteWrite(g, *peer, meta);
-        }
+        });
         const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
         line->state = CoherenceState::Modified;
         l2.touch(*line);
@@ -151,11 +167,8 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
     LineMeta &meta = meta_[block];
     const MissClass mclass = classifyMiss(meta, group);
     bool peer_supplied = false;
-    std::uint32_t peers = meta.presenceMask & ~(1u << group);
-    while (peers) {
-        const unsigned g =
-            static_cast<unsigned>(std::countr_zero(peers));
-        peers &= peers - 1;
+    const SharerSet peers = meta.presenceMask;
+    peers.forEachSetExcept(group, [&](unsigned g) {
         CacheLine *peer = l2_[g].find(ref.addr);
         sim_assert(peer, "presence mask out of sync (snoop)");
         if (isOwner(peer->state)) {
@@ -169,7 +182,7 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
                                g)) {
             peer->state = peerAfterGetS(peer->state);
         }
-    }
+    });
 
     const sim::Tick occupancy = lat_.busOccupancy;
     const sim::Tick queue = bus_.acquire(now, occupancy);
@@ -194,6 +207,24 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
       case MissClass::CapacityConflict: ++st.missCapacity; break;
       case MissClass::None: panic("miss without class"); break;
     }
+    recordMissTail(ref, mclass, is_instr);
+
+    CacheLine &victim = l2.victim(ref.addr);
+    if (victim.valid())
+        evictLine(group, victim, ref.cpu, now);
+    l2.install(victim, ref.addr,
+               want_write ? CoherenceState::Modified
+                          : CoherenceState::Shared);
+    meta.presenceMask.set(group);
+
+    return {latency, served, mclass};
+}
+
+void
+Hierarchy::recordMissTail(const MemRef &ref, MissClass mclass,
+                          bool is_instr)
+{
+    CacheStats &st = stats_[ref.cpu];
     for (Region &region : regions_) {
         if (ref.addr >= region.base &&
             ref.addr < region.base + region.bytes) {
@@ -214,21 +245,14 @@ Hierarchy::l2Access(const MemRef &ref, sim::Tick now, bool is_instr,
         ++st.instrMisses;
     else
         ++st.dataMisses;
-
-    CacheLine &victim = l2.victim(ref.addr);
-    if (victim.valid())
-        evictLine(group, victim, ref.cpu, now);
-    l2.install(victim, ref.addr,
-               want_write ? CoherenceState::Modified
-                          : CoherenceState::Shared);
-    meta.presenceMask |= 1u << group;
-
-    return {latency, served, mclass};
 }
 
 AccessResult
 Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
 {
+    if (dir_)
+        return l2BlockStoreDirectory(ref, now);
+
     CacheStats &st = stats_[ref.cpu];
     const unsigned group = groupOf(ref.cpu);
     CacheArray &l2 = l2_[group];
@@ -247,16 +271,13 @@ Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
         // Shared or owned: invalidate peers, upgrade in place. The
         // whole line is overwritten, so no data moves.
         LineMeta &meta = meta_[block];
-        std::uint32_t peers = meta.presenceMask & ~(1u << group);
-        while (peers) {
-            const unsigned g =
-                static_cast<unsigned>(std::countr_zero(peers));
-            peers &= peers - 1;
+        const SharerSet peers = meta.presenceMask;
+        peers.forEachSetExcept(group, [&](unsigned g) {
             CacheLine *peer = l2_[g].find(ref.addr);
             sim_assert(peer, "presence mask out of sync (blockstore)");
             if (!faultFires(FaultPlan::Kind::DropInvalidate, block, g))
                 invalidateForRemoteWrite(g, *peer, meta);
-        }
+        });
         const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
         line->state = CoherenceState::Modified;
         l2.touch(*line);
@@ -266,42 +287,38 @@ Hierarchy::l2BlockStore(const MemRef &ref, sim::Tick now)
     // Not present: claim the line without fetching. A peer's dirty
     // copy is dropped (it is wholly overwritten), not copied back.
     LineMeta &meta = meta_[block];
-    std::uint32_t peers = meta.presenceMask & ~(1u << group);
-    while (peers) {
-        const unsigned g =
-            static_cast<unsigned>(std::countr_zero(peers));
-        peers &= peers - 1;
+    const SharerSet peers = meta.presenceMask;
+    peers.forEachSetExcept(group, [&](unsigned g) {
         CacheLine *peer = l2_[g].find(ref.addr);
         sim_assert(peer, "presence mask out of sync (blockstore claim)");
         if (!faultFires(FaultPlan::Kind::DropInvalidate, block, g))
             invalidateForRemoteWrite(g, *peer, meta);
-    }
+    });
     const sim::Tick queue = bus_.acquire(now, lat_.busAddrOccupancy);
-    meta.everCachedMask |= 1u << group;
-    meta.invalidatedMask &= ~(1u << group);
+    meta.everCachedMask.set(group);
+    meta.invalidatedMask.clear(group);
 
     CacheLine &victim = l2.victim(ref.addr);
     if (victim.valid())
         evictLine(group, victim, ref.cpu, now);
     l2.installStreaming(victim, ref.addr, CoherenceState::Modified);
-    meta.presenceMask |= 1u << group;
+    meta.presenceMask.set(group);
     return {lat_.l2Hit + queue, ServedBy::L2, MissClass::None};
 }
 
 MissClass
 Hierarchy::classifyMiss(LineMeta &meta, unsigned group)
 {
-    const std::uint32_t bit = 1u << group;
     MissClass mclass;
-    if (!(meta.everCachedMask & bit)) {
+    if (!meta.everCachedMask.test(group)) {
         mclass = MissClass::Cold;
-    } else if (meta.invalidatedMask & bit) {
+    } else if (meta.invalidatedMask.test(group)) {
         mclass = MissClass::Coherence;
     } else {
         mclass = MissClass::CapacityConflict;
     }
-    meta.everCachedMask |= bit;
-    meta.invalidatedMask &= ~bit;
+    meta.everCachedMask.set(group);
+    meta.invalidatedMask.clear(group);
     return mclass;
 }
 
@@ -320,15 +337,31 @@ Hierarchy::evictLine(unsigned group, CacheLine &victim, unsigned req_cpu,
 {
     if (needsWriteback(victim.state)) {
         ++stats_[req_cpu].writebacks;
-        bus_.acquire(now, lat_.busOccupancy);
+        if (!dir_)
+            bus_.acquire(now, lat_.busOccupancy);
     }
+    // Replacements notify the home so the sharer vector stays exact.
+    if (dir_)
+        dirHandlePut(group, victim);
     // Record replacement (not invalidation) as the removal cause.
     LineMeta *meta = meta_.find(victim.tag);
     sim_assert(meta, "evicting a line with no metadata");
-    meta->invalidatedMask &= ~(1u << group);
-    meta->presenceMask &= ~(1u << group);
+    meta->invalidatedMask.clear(group);
+    meta->presenceMask.clear(group);
     backInvalidateL1s(group, victim.tag);
     victim.state = CoherenceState::Invalid;
+}
+
+void
+Hierarchy::dirHandlePut(unsigned group, const CacheLine &victim)
+{
+    DirEntry &entry = dir_->entry(victim.tag);
+    ++dir_->putNotices();
+    if (victim.state == CoherenceState::Modified)
+        ++dir_->writebacksToHome();
+    if (entry.owner == static_cast<std::int32_t>(group))
+        entry.owner = -1;
+    entry.sharers.clear(group);
 }
 
 void
@@ -336,8 +369,8 @@ Hierarchy::invalidateForRemoteWrite(unsigned group, CacheLine &line,
                                     LineMeta &meta)
 {
     ++*invalidations_;
-    meta.invalidatedMask |= 1u << group;
-    meta.presenceMask &= ~(1u << group);
+    meta.invalidatedMask.set(group);
+    meta.presenceMask.clear(group);
     backInvalidateL1s(group, line.tag);
     line.state = CoherenceState::Invalid;
 }
@@ -464,6 +497,8 @@ Hierarchy::invalidateAll()
     meta_.clear();
     for (Addr block : touched)
         meta_[block].flags = LineMeta::Touched;
+    if (dir_)
+        dir_->clear();
 }
 
 } // namespace middlesim::mem

@@ -31,6 +31,7 @@
 #include "mem/block_meta.hh"
 #include "mem/bus.hh"
 #include "mem/cache_array.hh"
+#include "mem/directory/directory.hh"
 #include "mem/fault.hh"
 #include "mem/latency.hh"
 #include "mem/memref.hh"
@@ -68,6 +69,16 @@ class TimelineSampler
     sim::Tick binWidth_;
     std::vector<std::uint64_t> bins_;
 };
+
+/**
+ * Sharer-group ceilings per protocol. The snooping bus keeps the
+ * historical 32-group limit (every L2 must observe every bus
+ * transaction; the model was validated at the paper's 16-CPU scale).
+ * The directory protocol's full-map vectors are width-parameterized,
+ * capped only by a sanity bound well above the 512-CPU target.
+ */
+inline constexpr unsigned kMaxSnoopGroups = 32;
+inline constexpr unsigned kMaxDirectoryGroups = 1024;
 
 /** The full coherent memory system of one simulated machine. */
 class Hierarchy
@@ -157,6 +168,16 @@ class Hierarchy
     /** Coherence state of a block in the L2 serving `cpu`. */
     CoherenceState peekState(unsigned cpu, Addr addr) const;
 
+    /** The directory controller; nullptr under the snooping bus. */
+    const DirectoryController *directory() const { return dir_.get(); }
+
+    /** Directory entry for a block (nullptr: no directory / unseen). */
+    const DirEntry *
+    peekDirEntry(Addr block) const
+    {
+        return dir_ ? dir_->peek(block) : nullptr;
+    }
+
     // Read-only inspection API for checkers and tests.
     unsigned numGroups() const { return cfg_.numL2s(); }
     const CacheArray &l1iArray(unsigned cpu) const { return l1i_[cpu]; }
@@ -219,6 +240,28 @@ class Hierarchy
     AccessResult l2Access(const MemRef &ref, sim::Tick now,
                           bool is_instr, bool want_write);
 
+    // Directory-protocol access path (mem/directory/dir_access.cc).
+    AccessResult l2AccessDirectory(const MemRef &ref, sim::Tick now,
+                                   bool is_instr, bool want_write);
+    AccessResult l2BlockStoreDirectory(const MemRef &ref,
+                                       sim::Tick now);
+
+    /**
+     * Directory GetM/Upgrade service: invalidate every sharer and
+     * owner copy except `group`, collecting acks. Returns true if a
+     * forwarded owner supplied data (want_data GetM only).
+     */
+    bool dirInvalidateSharers(Addr block, unsigned group,
+                              bool want_data, DirEntry &entry,
+                              LineMeta &meta, unsigned &inval_count);
+
+    /** Replacement notice to the home (PutS/PutE/PutM). */
+    void dirHandlePut(unsigned group, const CacheLine &victim);
+
+    /** Common L2-miss accounting tail (class, regions, instr/data). */
+    void recordMissTail(const MemRef &ref, MissClass mclass,
+                        bool is_instr);
+
     /** True if an armed FaultPlan of `kind` fires for (block, group). */
     bool
     faultFires(FaultPlan::Kind kind, Addr block, unsigned group) const
@@ -258,6 +301,9 @@ class Hierarchy
 
     BlockMetaTable meta_;
     std::vector<Region> regions_;
+
+    /** Directory protocol state; null under the snooping bus. */
+    std::unique_ptr<DirectoryController> dir_;
 
     /**
      * Live coherence counters (registry-backed when a registry was

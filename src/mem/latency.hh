@@ -40,6 +40,16 @@ struct LatencyModel
     sim::Tick busOccupancy = 44;
     /** Bus occupancy of an address-only transaction. */
     sim::Tick busAddrOccupancy = 10;
+
+    /**
+     * One interconnect hop between NUMA nodes (directory protocol
+     * only; a snooping bus has no hop structure). A remote-home miss
+     * pays hop * distance each direction on top of the base latency.
+     */
+    sim::Tick hop = 30;
+
+    /** Directory lookup at the home node (SRAM/DRAM tag walk). */
+    sim::Tick directoryLookup = 20;
 };
 
 } // namespace middlesim::mem

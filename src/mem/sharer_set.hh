@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Width-parameterized sharer-group bit set.
+ *
+ * Historically the per-block metadata packed "which L2 groups hold a
+ * copy" into a raw uint32_t, silently capping the machine at 32
+ * sharer groups. Directory geometries go to 512 CPUs, so the sharer
+ * representation is now an explicit small-buffer bitset: geometries
+ * with at most 64 groups (every snooping configuration and most
+ * directory ones) live in a single inline word — same cost as the old
+ * mask on the hot snoop path — while wider geometries spill to a heap
+ * array sized at construction.
+ *
+ * The set is deep-copyable (BlockMetaTable slots copy on grow) and
+ * word-addressable so checkers can compare whole vectors cheaply.
+ */
+
+#ifndef MEM_SHARER_SET_HH
+#define MEM_SHARER_SET_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+namespace middlesim::mem
+{
+
+/** Dynamic-width bitset over sharer-group indices. */
+class SharerSet
+{
+  public:
+    /** Groups representable without heap storage. */
+    static constexpr unsigned inlineBits = 64;
+
+    SharerSet() = default;
+
+    /** A set sized for `num_groups` groups, all bits clear. */
+    explicit SharerSet(unsigned num_groups)
+    {
+        if (num_groups > inlineBits) {
+            words_ = (num_groups + 63) / 64;
+            ext_ = std::make_unique<std::uint64_t[]>(words_);
+            std::memset(ext_.get(), 0, words_ * sizeof(std::uint64_t));
+        }
+    }
+
+    SharerSet(const SharerSet &o) { assign(o); }
+
+    SharerSet &
+    operator=(const SharerSet &o)
+    {
+        if (this != &o)
+            assign(o);
+        return *this;
+    }
+
+    SharerSet(SharerSet &&) = default;
+    SharerSet &operator=(SharerSet &&) = default;
+
+    /** Number of 64-bit words backing the set. */
+    unsigned words() const { return words_; }
+
+    /** The i-th backing word (0 when past the end). */
+    std::uint64_t
+    word(unsigned i) const
+    {
+        if (ext_)
+            return i < words_ ? ext_[i] : 0;
+        return i == 0 ? inline_ : 0;
+    }
+
+    bool
+    test(unsigned g) const
+    {
+        if (ext_) {
+            unsigned w = g / 64;
+            return w < words_ && ((ext_[w] >> (g % 64)) & 1u);
+        }
+        return g < inlineBits && ((inline_ >> g) & 1u);
+    }
+
+    void
+    set(unsigned g)
+    {
+        if (ext_)
+            ext_[g / 64] |= std::uint64_t{1} << (g % 64);
+        else
+            inline_ |= std::uint64_t{1} << g;
+    }
+
+    void
+    clear(unsigned g)
+    {
+        if (ext_) {
+            unsigned w = g / 64;
+            if (w < words_)
+                ext_[w] &= ~(std::uint64_t{1} << (g % 64));
+        } else if (g < inlineBits) {
+            inline_ &= ~(std::uint64_t{1} << g);
+        }
+    }
+
+    void
+    clearAll()
+    {
+        if (ext_)
+            std::memset(ext_.get(), 0, words_ * sizeof(std::uint64_t));
+        else
+            inline_ = 0;
+    }
+
+    bool
+    none() const
+    {
+        if (!ext_)
+            return inline_ == 0;
+        for (unsigned i = 0; i < words_; ++i) {
+            if (ext_[i])
+                return false;
+        }
+        return true;
+    }
+
+    bool any() const { return !none(); }
+
+    unsigned
+    count() const
+    {
+        if (!ext_)
+            return static_cast<unsigned>(std::popcount(inline_));
+        unsigned n = 0;
+        for (unsigned i = 0; i < words_; ++i)
+            n += static_cast<unsigned>(std::popcount(ext_[i]));
+        return n;
+    }
+
+    /** Lowest set group index; -1 when empty. */
+    int
+    first() const
+    {
+        if (!ext_) {
+            return inline_ ? std::countr_zero(inline_) : -1;
+        }
+        for (unsigned i = 0; i < words_; ++i) {
+            if (ext_[i])
+                return static_cast<int>(i * 64u) +
+                       std::countr_zero(ext_[i]);
+        }
+        return -1;
+    }
+
+    /** Call fn(group) for every set bit, ascending. */
+    template <typename F>
+    void
+    forEachSet(F &&fn) const
+    {
+        if (!ext_) {
+            for (std::uint64_t m = inline_; m;) {
+                unsigned g = static_cast<unsigned>(std::countr_zero(m));
+                m &= m - 1;
+                fn(g);
+            }
+            return;
+        }
+        for (unsigned i = 0; i < words_; ++i) {
+            for (std::uint64_t m = ext_[i]; m;) {
+                unsigned g = i * 64u +
+                             static_cast<unsigned>(std::countr_zero(m));
+                m &= m - 1;
+                fn(g);
+            }
+        }
+    }
+
+    /** forEachSet skipping one group (snoop "everyone but me"). */
+    template <typename F>
+    void
+    forEachSetExcept(unsigned skip, F &&fn) const
+    {
+        forEachSet([&](unsigned g) {
+            if (g != skip)
+                fn(g);
+        });
+    }
+
+    bool
+    operator==(const SharerSet &o) const
+    {
+        unsigned n = words_ > o.words_ ? words_ : o.words_;
+        if (n == 0)
+            n = 1;
+        for (unsigned i = 0; i < n; ++i) {
+            if (word(i) != o.word(i))
+                return false;
+        }
+        return true;
+    }
+
+    bool operator!=(const SharerSet &o) const { return !(*this == o); }
+
+    /** Hex rendering of the backing words, most-significant first. */
+    std::string
+    toHex() const
+    {
+        static const char *digits = "0123456789abcdef";
+        unsigned n = ext_ ? words_ : 1;
+        std::string out;
+        out.reserve(2 + n * 16);
+        out += "0x";
+        bool started = false;
+        for (unsigned i = n; i-- > 0;) {
+            std::uint64_t w = word(i);
+            for (int nib = 15; nib >= 0; --nib) {
+                unsigned d =
+                    static_cast<unsigned>((w >> (nib * 4)) & 0xf);
+                if (!started && d == 0 && !(i == 0 && nib == 0))
+                    continue;
+                started = true;
+                out += digits[d];
+            }
+        }
+        return out;
+    }
+
+  private:
+    void
+    assign(const SharerSet &o)
+    {
+        words_ = o.words_;
+        inline_ = o.inline_;
+        if (o.ext_) {
+            ext_ = std::make_unique<std::uint64_t[]>(words_);
+            std::memcpy(ext_.get(), o.ext_.get(),
+                        words_ * sizeof(std::uint64_t));
+        } else {
+            ext_.reset();
+        }
+    }
+
+    /** Inline storage for sets of <= 64 groups (the common case). */
+    std::uint64_t inline_ = 0;
+    /** Heap storage for wider sets; null when inline_ is active. */
+    std::unique_ptr<std::uint64_t[]> ext_;
+    /** Word count when ext_ is active; 0 means inline. */
+    unsigned words_ = 0;
+};
+
+} // namespace middlesim::mem
+
+#endif // MEM_SHARER_SET_HH

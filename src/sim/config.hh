@@ -50,6 +50,44 @@ struct CacheParams
     }
 };
 
+/**
+ * Coherence protocol plane. SnoopBus is the paper's machine: a MOSI
+ * snooping Gigaplane bus, every L2 observes every transaction.
+ * DirectoryMesi is the many-core option: a full-map directory MESI
+ * protocol with per-node homes and point-to-point messages, required
+ * beyond the snooping sharer ceiling (see Hierarchy).
+ */
+enum class CoherenceProtocol : std::uint8_t
+{
+    SnoopBus = 0,
+    DirectoryMesi = 1,
+};
+
+constexpr const char *
+toString(CoherenceProtocol p)
+{
+    return p == CoherenceProtocol::DirectoryMesi ? "directory" : "snoop";
+}
+
+/**
+ * Parse a protocol name. Accepts "snoop"/"bus"/"mosi" and
+ * "directory"/"dir"/"mesi". @return false on an unknown name (`out`
+ * is left untouched).
+ */
+inline bool
+parseProtocol(const std::string &name, CoherenceProtocol &out)
+{
+    if (name == "snoop" || name == "bus" || name == "mosi") {
+        out = CoherenceProtocol::SnoopBus;
+        return true;
+    }
+    if (name == "directory" || name == "dir" || name == "mesi") {
+        out = CoherenceProtocol::DirectoryMesi;
+        return true;
+    }
+    return false;
+}
+
 /** Configuration of the modeled multiprocessor. */
 struct MachineConfig
 {
@@ -77,10 +115,65 @@ struct MachineConfig
      */
     unsigned cpusPerL2 = 1;
 
+    /** Coherence protocol connecting the L2 groups. */
+    CoherenceProtocol protocol = CoherenceProtocol::SnoopBus;
+
+    /**
+     * NUMA nodes the machine is partitioned into. 1 models the
+     * E6000's flat UMA backplane. Under the directory protocol each
+     * node owns an equal slice of the L2 groups and serves as home
+     * for an interleaved slice of physical memory; remote homes cost
+     * interconnect hops (see LatencyModel::hop).
+     */
+    unsigned numaNodes = 1;
+
     unsigned
     numL2s() const
     {
         return (totalCpus + cpusPerL2 - 1) / cpusPerL2;
+    }
+
+    /** L2 groups per NUMA node (nodes partition the groups evenly). */
+    unsigned
+    groupsPerNode() const
+    {
+        return numL2s() / numaNodes;
+    }
+
+    /** NUMA node owning L2 group `group`. */
+    unsigned
+    nodeOfGroup(unsigned group) const
+    {
+        return group / groupsPerNode();
+    }
+
+    /** NUMA node a CPU belongs to (via its L2 group). */
+    unsigned
+    nodeOfCpu(unsigned cpu) const
+    {
+        return nodeOfGroup(cpu / cpusPerL2);
+    }
+
+    /**
+     * Home node of a block-aligned address: physical memory is
+     * block-interleaved across nodes.
+     */
+    unsigned
+    homeNodeOf(std::uint64_t block, unsigned block_bytes) const
+    {
+        return static_cast<unsigned>((block / block_bytes) % numaNodes);
+    }
+
+    /**
+     * Interconnect hop distance between two nodes. Nodes are linked
+     * in a ring (the simplest topology with a real distance metric);
+     * distance is the shorter way around.
+     */
+    unsigned
+    hopsBetween(unsigned a, unsigned b) const
+    {
+        unsigned d = a > b ? a - b : b - a;
+        return d < numaNodes - d ? d : numaNodes - d;
     }
 
     void
@@ -92,6 +185,13 @@ struct MachineConfig
             fatal("machine: appCpus must be in [1, totalCpus]");
         if (cpusPerL2 == 0 || totalCpus % cpusPerL2 != 0)
             fatal("machine: cpusPerL2 must divide totalCpus");
+        if (numaNodes == 0 || numL2s() % numaNodes != 0)
+            fatal("machine: numaNodes must divide the L2 group count");
+        if (protocol == CoherenceProtocol::SnoopBus && numaNodes != 1) {
+            fatal("machine: the snooping bus is a single-node fabric; "
+                  "numaNodes=", numaNodes,
+                  " requires --protocol=directory");
+        }
         l1i.validate("l1i");
         l1d.validate("l1d");
         l2.validate("l2");

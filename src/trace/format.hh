@@ -1,6 +1,6 @@
 /**
  * @file
- * The `middlesim-trace-v1` binary reference-trace format.
+ * The `middlesim-trace-v2` binary reference-trace format.
  *
  * A trace file is the middlesim analogue of the paper's Simics->Sumo
  * hand-off: the complete interleaved per-CPU reference stream of one
@@ -10,15 +10,16 @@
  * Layout (all multi-byte scalars little-endian via sim/serialize.hh):
  *
  *   header:
- *     str   magic                "middlesim-trace-v1"
+ *     str   magic                "middlesim-trace-v2"
  *     str   specKey              canonical ExperimentSpec key
  *                                (core::encodeSpecKey; "" if the
  *                                recording was not spec-driven)
  *     str   label                human-readable point name
  *     u32   totalCpus, appCpus, cpusPerL2
+ *     u8    protocol, u32 numaNodes
  *     3x    CacheParams          l1i, l1d, l2 (u64 size, u32 assoc,
  *                                u32 block)
- *     7x    u64                  LatencyModel fields
+ *     9x    u64                  LatencyModel fields
  *     u8    busContention, u8 trackCommunication
  *     u64   seed, u64 warmupTicks, u64 measureTicks
  *     u64   regionCount { str name, u64 base, u64 bytes }
@@ -58,7 +59,7 @@ namespace middlesim::trace
 {
 
 /** Format identifier; bump on any layout change. */
-inline constexpr const char *traceMagic = "middlesim-trace-v1";
+inline constexpr const char *traceMagic = "middlesim-trace-v2";
 
 /** File extension used for content-addressed trace artifacts. */
 inline constexpr const char *traceFileExt = ".mst";
@@ -88,6 +89,8 @@ struct TraceHeader
     unsigned totalCpus = 1;
     unsigned appCpus = 1;
     unsigned cpusPerL2 = 1;
+    sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
+    unsigned numaNodes = 1;
     sim::CacheParams l1i{16 * 1024, 4, 64};
     sim::CacheParams l1d{16 * 1024, 4, 64};
     sim::CacheParams l2{1u << 20, 4, 64};
@@ -109,6 +112,8 @@ struct TraceHeader
         m.totalCpus = totalCpus;
         m.appCpus = appCpus;
         m.cpusPerL2 = cpusPerL2;
+        m.protocol = protocol;
+        m.numaNodes = numaNodes;
         m.l1i = l1i;
         m.l1d = l1d;
         m.l2 = l2;

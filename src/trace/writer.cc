@@ -45,6 +45,8 @@ encodeHeader(sim::ByteWriter &w, const TraceHeader &h)
     w.u32(h.totalCpus);
     w.u32(h.appCpus);
     w.u32(h.cpusPerL2);
+    w.u8(static_cast<std::uint8_t>(h.protocol));
+    w.u32(h.numaNodes);
     encodeCacheParams(w, h.l1i);
     encodeCacheParams(w, h.l1d);
     encodeCacheParams(w, h.l2);
@@ -55,6 +57,8 @@ encodeHeader(sim::ByteWriter &w, const TraceHeader &h)
     w.u64(h.latency.upgrade);
     w.u64(h.latency.busOccupancy);
     w.u64(h.latency.busAddrOccupancy);
+    w.u64(h.latency.hop);
+    w.u64(h.latency.directoryLookup);
     w.u8(h.busContention ? 1 : 0);
     w.u8(h.trackCommunication ? 1 : 0);
     w.u64(h.seed);
@@ -84,6 +88,9 @@ decodeHeader(sim::ByteReader &r, TraceHeader &out, std::string &err)
     h.totalCpus = r.u32();
     h.appCpus = r.u32();
     h.cpusPerL2 = r.u32();
+    const std::uint8_t protocol_raw = r.u8();
+    h.protocol = static_cast<sim::CoherenceProtocol>(protocol_raw);
+    h.numaNodes = r.u32();
     bool caches_ok = decodeCacheParams(r, h.l1i);
     caches_ok = decodeCacheParams(r, h.l1d) && caches_ok;
     caches_ok = decodeCacheParams(r, h.l2) && caches_ok;
@@ -94,6 +101,8 @@ decodeHeader(sim::ByteReader &r, TraceHeader &out, std::string &err)
     h.latency.upgrade = r.u64();
     h.latency.busOccupancy = r.u64();
     h.latency.busAddrOccupancy = r.u64();
+    h.latency.hop = r.u64();
+    h.latency.directoryLookup = r.u64();
     h.busContention = r.u8() != 0;
     h.trackCommunication = r.u8() != 0;
     h.seed = r.u64();
@@ -123,6 +132,14 @@ decodeHeader(sim::ByteReader &r, TraceHeader &out, std::string &err)
         h.appCpus > h.totalCpus || h.cpusPerL2 == 0 ||
         h.totalCpus % h.cpusPerL2 != 0) {
         err = "invalid CPU topology in header";
+        return false;
+    }
+    if (protocol_raw >
+            static_cast<std::uint8_t>(
+                sim::CoherenceProtocol::DirectoryMesi) ||
+        h.numaNodes == 0 ||
+        (h.totalCpus / h.cpusPerL2) % h.numaNodes != 0) {
+        err = "invalid protocol/NUMA topology in header";
         return false;
     }
     out = std::move(h);

@@ -1,7 +1,8 @@
 /**
  * @file
  * Open-addressed per-block metadata table tests (the coherence
- * hot-path replacement for unordered_map/set in mem::Hierarchy).
+ * hot-path replacement for unordered_map/set in mem::Hierarchy) and
+ * the width-parameterized SharerSet it stores.
  */
 
 #include <gtest/gtest.h>
@@ -10,11 +11,71 @@
 #include <vector>
 
 #include "mem/block_meta.hh"
+#include "mem/sharer_set.hh"
 #include "sim/rng.hh"
 
 using namespace middlesim;
 using mem::BlockMetaTable;
 using mem::LineMeta;
+using mem::SharerSet;
+
+TEST(SharerSetTest, InlineSmallGeometry)
+{
+    SharerSet s(16);
+    EXPECT_TRUE(s.none());
+    EXPECT_EQ(s.count(), 0u);
+    s.set(0);
+    s.set(15);
+    EXPECT_TRUE(s.any());
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_TRUE(s.test(0));
+    EXPECT_TRUE(s.test(15));
+    EXPECT_FALSE(s.test(7));
+    s.clear(0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.first(), 15);
+}
+
+TEST(SharerSetTest, WideGeometryPastInlineBits)
+{
+    SharerSet s(512);
+    EXPECT_GE(s.words(), 8u);
+    s.set(0);
+    s.set(63);
+    s.set(64);
+    s.set(511);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_TRUE(s.test(64));
+    EXPECT_TRUE(s.test(511));
+    EXPECT_FALSE(s.test(256));
+
+    std::vector<unsigned> seen;
+    s.forEachSet([&](unsigned g) { seen.push_back(g); });
+    EXPECT_EQ(seen, (std::vector<unsigned>{0, 63, 64, 511}));
+
+    seen.clear();
+    s.forEachSetExcept(64, [&](unsigned g) { seen.push_back(g); });
+    EXPECT_EQ(seen, (std::vector<unsigned>{0, 63, 511}));
+
+    s.clearAll();
+    EXPECT_TRUE(s.none());
+}
+
+TEST(SharerSetTest, DeepCopyIsIndependent)
+{
+    SharerSet a(128);
+    a.set(100);
+    SharerSet b = a;
+    EXPECT_TRUE(b.test(100));
+    b.set(5);
+    EXPECT_FALSE(a.test(5));
+    EXPECT_TRUE(a == SharerSet(a));
+    EXPECT_TRUE(a != b);
+    SharerSet c(128);
+    c = b;
+    EXPECT_TRUE(c.test(5));
+    EXPECT_TRUE(c.test(100));
+}
 
 TEST(BlockMeta, InsertFindAndMutate)
 {
@@ -24,13 +85,15 @@ TEST(BlockMeta, InsertFindAndMutate)
 
     LineMeta &meta = table[0x1000];
     EXPECT_EQ(table.size(), 1u);
-    meta.everCachedMask |= 0x5;
-    meta.presenceMask |= 0x1;
+    meta.everCachedMask.set(0);
+    meta.everCachedMask.set(2);
+    meta.presenceMask.set(0);
 
     LineMeta *found = table.find(0x1000);
     ASSERT_NE(found, nullptr);
-    EXPECT_EQ(found->everCachedMask, 0x5u);
-    EXPECT_EQ(found->presenceMask, 0x1u);
+    EXPECT_EQ(found->everCachedMask.count(), 2u);
+    EXPECT_TRUE(found->everCachedMask.test(2));
+    EXPECT_TRUE(found->presenceMask.test(0));
     // operator[] of an existing key returns the same slot.
     EXPECT_EQ(&table[0x1000], found);
 }
@@ -52,17 +115,33 @@ TEST(BlockMeta, GrowsPastInitialCapacityWithoutLosingEntries)
     sim::Rng rng(5);
     for (int i = 0; i < 50000; ++i) {
         const mem::Addr block = rng.uniform(20000) * 64;
-        const auto bit =
-            static_cast<std::uint32_t>(1u << rng.uniform(32));
-        table[block].everCachedMask |= bit;
-        mirror[block] |= bit;
+        const unsigned bit = static_cast<unsigned>(rng.uniform(32));
+        table[block].everCachedMask.set(bit);
+        mirror[block] |= 1u << bit;
     }
     EXPECT_EQ(table.size(), mirror.size());
     for (const auto &[block, mask] : mirror) {
         LineMeta *meta = table.find(block);
         ASSERT_NE(meta, nullptr) << block;
-        EXPECT_EQ(meta->everCachedMask, mask) << block;
+        for (unsigned g = 0; g < 32; ++g)
+            EXPECT_EQ(meta->everCachedMask.test(g),
+                      ((mask >> g) & 1u) != 0)
+                << block << " group " << g;
     }
+}
+
+TEST(BlockMeta, PrototypeSizesWideGeometryEntries)
+{
+    // A prototype-carrying table hands out entries whose sharer sets
+    // are already sized for the wide machine, across growth.
+    mem::BlockMetaTableT<LineMeta> table(4, LineMeta(512));
+    for (mem::Addr block = 0; block < 64 * 64; block += 64)
+        table[block].presenceMask.set(300);
+    EXPECT_EQ(table.size(), 64u);
+    table.forEach([&](mem::Addr, LineMeta &meta) {
+        EXPECT_TRUE(meta.presenceMask.test(300));
+        EXPECT_GE(meta.presenceMask.words(), 8u);
+    });
 }
 
 TEST(BlockMeta, ForEachVisitsEveryEntryOnce)
@@ -82,10 +161,10 @@ TEST(BlockMeta, ForEachVisitsEveryEntryOnce)
 TEST(BlockMeta, ClearEmptiesTheTable)
 {
     BlockMetaTable table;
-    table[0x40].presenceMask = 1;
+    table[0x40].presenceMask.set(0);
     table.clear();
     EXPECT_EQ(table.size(), 0u);
     EXPECT_EQ(table.find(0x40), nullptr);
     // Reinsertion after clear starts fresh.
-    EXPECT_EQ(table[0x40].presenceMask, 0u);
+    EXPECT_TRUE(table[0x40].presenceMask.none());
 }

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Directory-protocol + NUMA subsystem tests (src/mem/directory/).
+ *
+ * Anchored claims:
+ *  - soundness: the directory MESI protocol checks clean under the
+ *    lockstep directory checker across degenerate topologies (one
+ *    node, one CPU, all CPUs in one node, nodes == L2 groups) and a
+ *    64-CPU many-core geometry the snooping bus cannot reach;
+ *  - equivalence: on private working sets a matched geometry produces
+ *    identical miss classifications and zero cache-to-cache traffic
+ *    under both protocols;
+ *  - fail-fast: geometry past a protocol's sharer ceiling dies with a
+ *    diagnostic naming the limit (and, for the bus, the fix);
+ *  - sensitivity: the injected lost-ack defect (FaultPlan
+ *    DropInvalAck) is caught by the directory checker and shrinks to
+ *    a minimal replayable repro;
+ *  - plumbing: NUMA traffic splits local/remote as the topology
+ *    dictates, experiment cache keys separate protocol/topology, and
+ *    traces round-trip the new header fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/shrink.hh"
+#include "core/cache.hh"
+#include "core/experiment.hh"
+#include "mem/fault.hh"
+#include "mem/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+#include "sim/rng.hh"
+#include "trace/format.hh"
+#include "trace/reader.hh"
+#include "trace/writer.hh"
+
+using namespace middlesim;
+using mem::AccessType;
+using mem::Hierarchy;
+
+namespace
+{
+
+sim::MachineConfig
+dirMachine(unsigned cpus, unsigned per_l2, unsigned nodes)
+{
+    sim::MachineConfig m;
+    m.totalCpus = cpus;
+    m.appCpus = cpus;
+    m.cpusPerL2 = per_l2;
+    m.numaNodes = nodes;
+    m.protocol = sim::CoherenceProtocol::DirectoryMesi;
+    m.l1i = {4096, 2, 64};
+    m.l1d = {4096, 2, 64};
+    m.l2 = {32768, 4, 64};
+    return m;
+}
+
+trace::TraceHeader
+dirHeader(unsigned cpus, unsigned per_l2, unsigned nodes)
+{
+    trace::TraceHeader h;
+    h.label = "directory-test";
+    h.totalCpus = cpus;
+    h.appCpus = cpus;
+    h.cpusPerL2 = per_l2;
+    h.protocol = sim::CoherenceProtocol::DirectoryMesi;
+    h.numaNodes = nodes;
+    h.l1i = {4096, 2, 64};
+    h.l1d = {4096, 2, 64};
+    h.l2 = {32768, 4, 64};
+    return h;
+}
+
+/** Hot shared set + cold pool, all access types, like test_check. */
+std::vector<trace::TraceRecord>
+sharedStream(std::uint64_t seed, unsigned cpus, unsigned refs)
+{
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xd12);
+    std::vector<trace::TraceRecord> out;
+    out.reserve(refs);
+    sim::Tick t = 1000;
+    for (unsigned i = 0; i < refs; ++i) {
+        t += 1 + rng.uniform(40);
+        trace::TraceRecord rec;
+        rec.tick = t;
+        rec.ref.cpu = static_cast<unsigned>(rng.uniform(cpus));
+        const mem::Addr block =
+            rng.chance(0.6) ? 0x1000'0000ULL + 64 * rng.uniform(48)
+                            : 0x2000'0000ULL + 64 * rng.uniform(2048);
+        const std::uint64_t roll = rng.uniform(100);
+        if (roll < 55)
+            rec.ref.type = AccessType::Load;
+        else if (roll < 80)
+            rec.ref.type = AccessType::Store;
+        else if (roll < 90)
+            rec.ref.type = AccessType::IFetch;
+        else if (roll < 95)
+            rec.ref.type = AccessType::Atomic;
+        else
+            rec.ref.type = AccessType::BlockStore;
+        rec.ref.addr = rec.ref.type == AccessType::BlockStore
+                           ? block
+                           : block + 8 * rng.uniform(8);
+        out.push_back(rec);
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Soundness: degenerate topologies check clean under the lockstep
+// directory checker.
+// ---------------------------------------------------------------------
+
+TEST(DirClean, SingleNodeIsUma)
+{
+    // numaNodes=1: every home is local; the protocol still runs its
+    // full request/forward/invalidate machinery.
+    const auto h = dirHeader(4, 2, 1);
+    EXPECT_EQ(check::violatedInvariant(h, sharedStream(1, 4, 10000)),
+              "");
+}
+
+TEST(DirClean, Uniprocessor)
+{
+    const auto h = dirHeader(1, 1, 1);
+    EXPECT_EQ(check::violatedInvariant(h, sharedStream(2, 1, 10000)),
+              "");
+}
+
+TEST(DirClean, NodesEqualGroups)
+{
+    // One L2 group per NUMA node: maximal remote-miss exposure.
+    const auto h = dirHeader(4, 1, 4);
+    EXPECT_EQ(check::violatedInvariant(h, sharedStream(3, 4, 10000)),
+              "");
+}
+
+TEST(DirClean, AllCpusOneL2Group)
+{
+    // A single fully shared L2: the directory degenerates to one
+    // sharer bit and no cross-group traffic.
+    const auto h = dirHeader(8, 8, 1);
+    EXPECT_EQ(check::violatedInvariant(h, sharedStream(4, 8, 10000)),
+              "");
+}
+
+TEST(DirClean, ManycoreGeometryPastSnoopCeiling)
+{
+    // 64 CPUs in 64 L2 groups across 4 nodes — a geometry the
+    // snooping bus rejects outright (kMaxSnoopGroups = 32).
+    const auto h = dirHeader(64, 1, 4);
+    EXPECT_EQ(check::violatedInvariant(h, sharedStream(5, 64, 8000)),
+              "");
+}
+
+// ---------------------------------------------------------------------
+// Equivalence: private working sets classify identically under both
+// protocols (the acceptance criterion for protocol parity).
+// ---------------------------------------------------------------------
+
+TEST(DirEquivalence, PrivateWorkingSetsMatchSnoop)
+{
+    sim::MachineConfig snoop = dirMachine(16, 4, 1);
+    snoop.protocol = sim::CoherenceProtocol::SnoopBus;
+    const sim::MachineConfig dir = dirMachine(16, 4, 4);
+
+    Hierarchy hs(snoop, mem::LatencyModel{}, false);
+    Hierarchy hd(dir, mem::LatencyModel{}, false);
+    hs.setCommunicationTracking(true);
+    hd.setCommunicationTracking(true);
+
+    // Each CPU walks a disjoint region bigger than its L2 share:
+    // cold and capacity misses, zero sharing.
+    sim::Rng rng(7);
+    sim::Tick t = 0;
+    for (unsigned i = 0; i < 60000; ++i) {
+        t += 1 + rng.uniform(8);
+        const unsigned cpu = static_cast<unsigned>(rng.uniform(16));
+        const mem::Addr addr = 0x4000'0000ULL +
+                               0x0100'0000ULL * cpu +
+                               64 * rng.uniform(1500) +
+                               8 * rng.uniform(8);
+        const auto roll = rng.uniform(10);
+        const AccessType type = roll < 6   ? AccessType::Load
+                                : roll < 9 ? AccessType::Store
+                                           : AccessType::IFetch;
+        hs.access({addr, type, cpu}, t);
+        hd.access({addr, type, cpu}, t);
+    }
+
+    for (unsigned cpu = 0; cpu < 16; ++cpu) {
+        const mem::CacheStats &a = hs.cpuStats(cpu);
+        const mem::CacheStats &b = hd.cpuStats(cpu);
+        EXPECT_EQ(a.l2Misses(), b.l2Misses()) << "cpu " << cpu;
+        EXPECT_EQ(a.missCold, b.missCold) << "cpu " << cpu;
+        EXPECT_EQ(a.missCapacity, b.missCapacity) << "cpu " << cpu;
+        EXPECT_EQ(a.missCoherence, 0u) << "cpu " << cpu;
+        EXPECT_EQ(b.missCoherence, 0u) << "cpu " << cpu;
+    }
+    // No sharing -> no cache-to-cache transfers under either protocol.
+    EXPECT_EQ(hs.c2cPerLine().total(), 0u);
+    EXPECT_EQ(hd.c2cPerLine().total(), 0u);
+    EXPECT_GT(hs.aggregateAll().l2Misses(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fail-fast: geometry past a protocol ceiling names the limit.
+// ---------------------------------------------------------------------
+
+TEST(DirGuard, DirectoryCeilingIsNamed)
+{
+    sim::MachineConfig m = dirMachine(mem::kMaxDirectoryGroups + 1, 1, 1);
+    EXPECT_EXIT(Hierarchy(m, mem::LatencyModel{}, false),
+                ::testing::ExitedWithCode(1), "kMaxDirectoryGroups");
+}
+
+TEST(DirGuard, SnoopWithNumaIsRejected)
+{
+    sim::MachineConfig m = dirMachine(8, 2, 2);
+    m.protocol = sim::CoherenceProtocol::SnoopBus;
+    EXPECT_EXIT(m.validate(), ::testing::ExitedWithCode(1),
+                "protocol=directory");
+}
+
+TEST(DirGuard, NodesMustDivideGroups)
+{
+    const sim::MachineConfig m = dirMachine(8, 2, 3);
+    EXPECT_EXIT(m.validate(), ::testing::ExitedWithCode(1),
+                "divide");
+}
+
+// ---------------------------------------------------------------------
+// Sensitivity: the lost-ack defect is caught and shrinks.
+// ---------------------------------------------------------------------
+
+TEST(DirInject, DropInvalAckCaughtAndShrunk)
+{
+    const auto h = dirHeader(8, 2, 2);
+    const auto stream = sharedStream(11, 8, 8000);
+
+    mem::FaultPlan plan;
+    plan.kind = mem::FaultPlan::Kind::DropInvalAck;
+    plan.period = 2;
+    plan.salt = 17;
+
+    const std::string invariant =
+        check::violatedInvariant(h, stream, &plan);
+    ASSERT_NE(invariant, "");
+    // The stale sharer bit is a directory-plane defect.
+    EXPECT_EQ(invariant.rfind("dir.", 0), 0u) << invariant;
+
+    check::ShrinkResult r = check::shrinkToMinimal(h, stream, &plan);
+    ASSERT_TRUE(r.reproduced);
+    EXPECT_EQ(r.invariant, invariant);
+    EXPECT_LT(r.records.size(), 1000u);
+    EXPECT_GE(r.records.size(), 1u);
+    EXPECT_EQ(check::violatedInvariant(h, r.records, &plan),
+              invariant);
+    // The unfaulted machine must not object to the minimized stream.
+    EXPECT_EQ(check::violatedInvariant(h, r.records), "");
+}
+
+// ---------------------------------------------------------------------
+// NUMA accounting and topology helpers.
+// ---------------------------------------------------------------------
+
+TEST(DirNuma, SingleNodeHasNoRemoteTraffic)
+{
+    sim::MetricRegistry reg;
+    Hierarchy h(dirMachine(4, 2, 1), mem::LatencyModel{}, false, &reg);
+    sim::Rng rng(9);
+    for (unsigned i = 0; i < 20000; ++i) {
+        h.access({64 * rng.uniform(4096),
+                  rng.chance(0.3) ? AccessType::Store
+                                  : AccessType::Load,
+                  static_cast<unsigned>(rng.uniform(4))},
+                 i);
+    }
+    EXPECT_GT(reg.counter("mem.numa.local_misses").value(), 0u);
+    EXPECT_EQ(reg.counter("mem.numa.remote_misses").value(), 0u);
+    EXPECT_EQ(reg.counter("mem.numa.hops").value(), 0u);
+    EXPECT_GT(reg.counter("mem.dir.get_s").value(), 0u);
+}
+
+TEST(DirNuma, MultiNodeSplitsLocalRemote)
+{
+    sim::MetricRegistry reg;
+    Hierarchy h(dirMachine(8, 2, 4), mem::LatencyModel{}, false, &reg);
+    sim::Rng rng(10);
+    for (unsigned i = 0; i < 20000; ++i) {
+        h.access({64 * rng.uniform(4096),
+                  rng.chance(0.3) ? AccessType::Store
+                                  : AccessType::Load,
+                  static_cast<unsigned>(rng.uniform(8))},
+                 i);
+    }
+    const auto local = reg.counter("mem.numa.local_misses").value();
+    const auto remote = reg.counter("mem.numa.remote_misses").value();
+    // Block-interleaved homes: ~3/4 of misses land on remote nodes.
+    EXPECT_GT(local, 0u);
+    EXPECT_GT(remote, local);
+    EXPECT_GT(reg.counter("mem.numa.hops").value(), remote);
+}
+
+TEST(DirNuma, TopologyHelpers)
+{
+    const sim::MachineConfig m = dirMachine(16, 2, 4);
+    EXPECT_EQ(m.numL2s(), 8u);
+    EXPECT_EQ(m.nodeOfCpu(0), 0u);
+    EXPECT_EQ(m.nodeOfCpu(15), 3u);
+    // Homes interleave by block index.
+    EXPECT_EQ(m.homeNodeOf(0, 64), 0u);
+    EXPECT_EQ(m.homeNodeOf(64, 64), 1u);
+    EXPECT_EQ(m.homeNodeOf(64 * 5, 64), 1u);
+    // Ring distance wraps: node 0 -> node 3 is one hop.
+    EXPECT_EQ(m.hopsBetween(0, 3), 1u);
+    EXPECT_EQ(m.hopsBetween(0, 2), 2u);
+    EXPECT_EQ(m.hopsBetween(1, 1), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Plumbing: cache keys and trace headers carry the new fields.
+// ---------------------------------------------------------------------
+
+TEST(DirPlumbing, SpecKeySeparatesProtocolAndTopology)
+{
+    core::ExperimentSpec base;
+    const std::string snoopKey = core::encodeSpecKey(base);
+
+    core::ExperimentSpec dir = base;
+    dir.protocol = sim::CoherenceProtocol::DirectoryMesi;
+    const std::string dirKey = core::encodeSpecKey(dir);
+    EXPECT_NE(snoopKey, dirKey);
+
+    core::ExperimentSpec numa = dir;
+    numa.numaNodes = 4;
+    EXPECT_NE(core::encodeSpecKey(numa), dirKey);
+}
+
+TEST(DirPlumbing, TraceHeaderRoundTripsProtocolFields)
+{
+    const auto h = dirHeader(8, 2, 4);
+    trace::TraceWriter writer(h);
+    trace::TraceReader reader(writer.take());
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.header().protocol,
+              sim::CoherenceProtocol::DirectoryMesi);
+    EXPECT_EQ(reader.header().numaNodes, 4u);
+    EXPECT_EQ(reader.header().totalCpus, 8u);
+}
+
+TEST(DirPlumbing, DecodeRejectsBadTopology)
+{
+    // numaNodes must divide the group count; a corrupted header is
+    // rejected at decode, not at hierarchy construction.
+    auto h = dirHeader(8, 2, 4);
+    h.numaNodes = 3;
+    trace::TraceWriter writer(h);
+    trace::TraceReader reader(writer.take());
+    EXPECT_FALSE(reader.ok());
+}

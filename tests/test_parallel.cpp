@@ -254,12 +254,13 @@ TEST(ParallelRunner, MergedSnapshotIsJobCountInvariant)
     EXPECT_EQ(serial, parallel);
 }
 
-TEST(HierarchyGuard, RejectsMoreL2GroupsThanMaskBits)
+TEST(HierarchyGuard, RejectsMoreL2GroupsThanSnoopCeiling)
 {
     sim::MachineConfig machine;
-    machine.totalCpus = mem::LineMeta::maxGroups + 1;
+    machine.totalCpus = mem::kMaxSnoopGroups + 1;
     machine.appCpus = 4;
     machine.cpusPerL2 = 1;
     EXPECT_EXIT(mem::Hierarchy(machine, mem::LatencyModel{}, false),
-                ::testing::ExitedWithCode(1), "metadata masks");
+                ::testing::ExitedWithCode(1),
+                "kMaxSnoopGroups.*protocol=directory");
 }
