@@ -42,6 +42,8 @@ struct Options
     unsigned cpusPerL2 = 1;
     sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
     unsigned numaNodes = 1;
+    sim::Topology topology = sim::Topology::Ring;
+    unsigned dirOccupancy = 0;
     unsigned blocks = 2;
     /** Total references, dealt round-robin over the CPUs. */
     unsigned refs = 12;
@@ -73,9 +75,11 @@ parseInject(const std::string &name)
         return mem::FaultPlan::Kind::SkipL1BackInvalidate;
     if (name == "drop-ack" || name == "drop-inval-ack")
         return mem::FaultPlan::Kind::DropInvalAck;
+    if (name == "nack-storm")
+        return mem::FaultPlan::Kind::NackStorm;
     fatal("middlesim_explore: unknown --inject value '", name,
-          "' (want none, drop-invalidate, keep-owner, skip-l1 or "
-          "drop-ack)");
+          "' (want none, drop-invalidate, keep-owner, skip-l1, "
+          "drop-ack or nack-storm)");
     return mem::FaultPlan::Kind::None;
 }
 
@@ -108,6 +112,12 @@ parseArgs(int argc, char **argv)
             opt.protocol = parseProtocol(arg.substr(11));
         } else if (arg.rfind("--numa-nodes=", 0) == 0) {
             opt.numaNodes = static_cast<unsigned>(num(13));
+        } else if (arg.rfind("--topology=", 0) == 0) {
+            if (!sim::parseTopology(arg.substr(11), opt.topology))
+                fatal("middlesim_explore: unknown --topology value '",
+                      arg.substr(11), "' (want ring or mesh)");
+        } else if (arg.rfind("--dir-occupancy=", 0) == 0) {
+            opt.dirOccupancy = static_cast<unsigned>(num(16));
         } else if (arg.rfind("--blocks=", 0) == 0) {
             opt.blocks = static_cast<unsigned>(num(9));
         } else if (arg.rfind("--refs=", 0) == 0) {
@@ -138,6 +148,7 @@ parseArgs(int argc, char **argv)
             fatal("middlesim_explore: unknown flag '", arg,
                   "' (supported: --cpus=N, --cpus-per-l2=N, "
                   "--protocol=snoop|directory, --numa-nodes=N, "
+                  "--topology=ring|mesh, --dir-occupancy=N, "
                   "--blocks=N, --refs=N, --seed=N, --depth-budget=N, "
                   "--max-executions=N, --jobs=N, --no-dpor, --timing, "
                   "--inject=KIND, --inject-period=N, --inject-salt=N, "
@@ -164,6 +175,16 @@ parseArgs(int argc, char **argv)
         opt.protocol != sim::CoherenceProtocol::DirectoryMesi)
         fatal("middlesim_explore: --inject=drop-ack is a directory "
               "defect; add --protocol=directory");
+    if ((opt.topology != sim::Topology::Ring ||
+         opt.dirOccupancy != 0) &&
+        opt.protocol != sim::CoherenceProtocol::DirectoryMesi)
+        fatal("middlesim_explore: --topology=mesh/--dir-occupancy "
+              "need --protocol=directory");
+    if (opt.inject == mem::FaultPlan::Kind::NackStorm &&
+        opt.dirOccupancy == 0)
+        fatal("middlesim_explore: --inject=nack-storm is a contended-"
+              "home defect; add --protocol=directory "
+              "--dir-occupancy=N (N >= 1)");
     return opt;
 }
 
@@ -177,7 +198,7 @@ main(int argc, char **argv)
 
     const trace::TraceHeader header = explore::exploreHeader(
         opt.cpus, opt.cpusPerL2, opt.seed, opt.protocol,
-        opt.numaNodes);
+        opt.numaNodes, opt.topology, opt.dirOccupancy);
     const explore::Streams streams =
         explore::makeStreams(opt.cpus, opt.blocks, opt.refs, opt.seed);
 
@@ -210,6 +231,8 @@ main(int argc, char **argv)
     rc.cpusPerL2 = opt.cpusPerL2;
     rc.protocol = opt.protocol;
     rc.numaNodes = opt.numaNodes;
+    rc.topology = opt.topology;
+    rc.dirOccupancy = opt.dirOccupancy;
     rc.blocks = opt.blocks;
     rc.refs = opt.refs;
     rc.seed = opt.seed;

@@ -88,9 +88,11 @@ parseInject(const std::string &name)
         return mem::FaultPlan::Kind::SkipL1BackInvalidate;
     if (name == "drop-ack" || name == "drop-inval-ack")
         return mem::FaultPlan::Kind::DropInvalAck;
+    if (name == "nack-storm")
+        return mem::FaultPlan::Kind::NackStorm;
     fatal("middlesim_stress: unknown --inject value '", name,
-          "' (want none, drop-invalidate, keep-owner, skip-l1 or "
-          "drop-ack)");
+          "' (want none, drop-invalidate, keep-owner, skip-l1, "
+          "drop-ack or nack-storm)");
     return mem::FaultPlan::Kind::None;
 }
 
@@ -159,8 +161,10 @@ randomDivisor(sim::Rng &rng, unsigned n, bool proper)
  * L2 groups to create cross-group coherence traffic, so inject runs
  * draw only geometries with a proper sharing degree. Roughly half of
  * the geometries run the directory MESI protocol (with a random NUMA
- * node count dividing the group count); drop-ack is a directory-only
- * defect, so those runs always draw directory machines.
+ * node count dividing the group count, a random ring/mesh topology
+ * and a random home-occupancy depth); drop-ack is a directory-only
+ * defect and nack-storm a contended-home-only defect, so those runs
+ * always draw the machines that can express them.
  */
 trace::TraceHeader
 randomGeometry(sim::Rng &rng, std::uint64_t seed, bool need_groups,
@@ -183,11 +187,19 @@ randomGeometry(sim::Rng &rng, std::uint64_t seed, bool need_groups,
     h.cpusPerL2 = randomDivisor(rng, h.totalCpus, need_groups);
     const bool directory =
         inject == mem::FaultPlan::Kind::DropInvalAck ||
+        inject == mem::FaultPlan::Kind::NackStorm ||
         rng.chance(0.5);
     if (directory) {
         h.protocol = sim::CoherenceProtocol::DirectoryMesi;
         h.numaNodes =
             randomDivisor(rng, h.totalCpus / h.cpusPerL2, false);
+        if (rng.chance(0.5))
+            h.topology = sim::Topology::Mesh;
+        static const unsigned occChoices[] = {0, 1, 2, 4};
+        h.dirOccupancy = occChoices[rng.uniform(4)];
+        if (inject == mem::FaultPlan::Kind::NackStorm &&
+            h.dirOccupancy == 0)
+            h.dirOccupancy = 1;
     }
     h.l1i = {l1Sizes[rng.uniform(3)],
              l1Assoc[rng.uniform(3)], 64};
@@ -387,10 +399,11 @@ runSyntheticSeed(std::uint64_t seed, const Options &opt, Tally &tally)
         check::violatedInvariant(header, records, fault);
     char geom[160];
     std::snprintf(geom, sizeof geom,
-                  "synthetic cpus=%u/l2x%u %s/n%u l1=%lluK/%u "
-                  "l2=%lluK/%u",
+                  "synthetic cpus=%u/l2x%u %s/n%u/%s/occ%u "
+                  "l1=%lluK/%u l2=%lluK/%u",
                   header.totalCpus, header.cpusPerL2,
                   sim::toString(header.protocol), header.numaNodes,
+                  sim::toString(header.topology), header.dirOccupancy,
                   static_cast<unsigned long long>(
                       header.l1d.sizeBytes / 1024),
                   header.l1d.assoc,
@@ -439,10 +452,18 @@ runWorkloadSeed(std::uint64_t seed, const Options &opt, Tally &tally)
     spec.appCpus = spec.totalCpus;
     spec.cpusPerL2 = randomDivisor(rng, spec.totalCpus, inject);
     if (opt.inject == mem::FaultPlan::Kind::DropInvalAck ||
+        opt.inject == mem::FaultPlan::Kind::NackStorm ||
         rng.chance(0.5)) {
         spec.protocol = sim::CoherenceProtocol::DirectoryMesi;
         spec.numaNodes =
             randomDivisor(rng, spec.totalCpus / spec.cpusPerL2, false);
+        if (rng.chance(0.5))
+            spec.topology = sim::Topology::Mesh;
+        static const unsigned occChoices[] = {0, 1, 2, 4};
+        spec.dirOccupancy = occChoices[rng.uniform(4)];
+        if (opt.inject == mem::FaultPlan::Kind::NackStorm &&
+            spec.dirOccupancy == 0)
+            spec.dirOccupancy = 1;
     }
     spec.seed = seed;
     spec.warmup = 200'000;
@@ -483,9 +504,10 @@ runWorkloadSeed(std::uint64_t seed, const Options &opt, Tally &tally)
     const check::CheckReport &report = system->checker()->report();
     char geom[96];
     std::snprintf(geom, sizeof geom,
-                  "workload jbb:1 cpus=%u/l2x%u %s/n%u",
+                  "workload jbb:1 cpus=%u/l2x%u %s/n%u/%s/occ%u",
                   spec.totalCpus, spec.cpusPerL2,
-                  sim::toString(spec.protocol), spec.numaNodes);
+                  sim::toString(spec.protocol), spec.numaNodes,
+                  sim::toString(spec.topology), spec.dirOccupancy);
     if (report.clean()) {
         ++tally.clean;
         if (inject) {

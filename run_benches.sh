@@ -61,7 +61,7 @@ fi
 
 json="BENCH_runner.json"
 echo "{" > "$json"
-printf '  "meta": {"jobs_serial": 1, "jobs_parallel": %s, "hardware_concurrency": %s, "degraded_parallelism": %s},\n' \
+printf '  "meta": {"jobs_serial": 1, "jobs_parallel": %s, "hardware_concurrency": %s, "degraded_parallelism": %s, "protocol": "snoop", "topology": "ring"},\n' \
     "$jobs_parallel" "$(nproc)" "$degraded_parallelism" >> "$json"
 first=1
 
@@ -368,6 +368,13 @@ find_keep="$elapsed_s"
 time_run ./build/bench/middlesim_explore --inject=skip-l1 \
     --report=/dev/null
 find_skip="$elapsed_s"
+# The nack-storm defect only exists on a contended directory home:
+# its leg runs the same 2-CPU geometry under --protocol=directory at
+# minimum home occupancy.
+time_run ./build/bench/middlesim_explore --protocol=directory \
+    --numa-nodes=2 --dir-occupancy=1 --inject=nack-storm \
+    --report=/dev/null
+find_nack="$elapsed_s"
 rm -rf "$explore_dir"
 
 explore_json="BENCH_explore.json"
@@ -375,6 +382,8 @@ explore_json="BENCH_explore.json"
     echo "{"
     printf '  "schema": "middlesim-bench-explore-v1",\n'
     printf '  "cpus": 2, "blocks": 2, "refs": 12, "seed": 1,\n'
+    printf '  "protocol": "snoop", "topology": "ring",\n'
+    printf '  "nack_storm_leg": {"protocol": "directory", "topology": "ring", "numa_nodes": 2, "dir_occupancy": 1},\n'
     printf '  "interleavings_explored_dpor": %s,\n' "$explore_states"
     printf '  "interleavings_explored_naive": %s,\n' \
         "$explore_naive_states"
@@ -385,13 +394,15 @@ explore_json="BENCH_explore.json"
         "$(awk "BEGIN { print $explore_naive_s / $explore_dpor_s }")"
     printf '  "time_to_find_drop_invalidate_s": %s,\n' "$find_drop"
     printf '  "time_to_find_keep_owner_s": %s,\n' "$find_keep"
-    printf '  "time_to_find_skip_l1_s": %s\n' "$find_skip"
+    printf '  "time_to_find_skip_l1_s": %s,\n' "$find_skip"
+    printf '  "time_to_find_nack_storm_s": %s\n' "$find_nack"
     echo "}"
 } > "$explore_json"
 echo "--- wall clock: explore dpor ${explore_dpor_s}s" \
      "(${explore_states} states) vs naive ${explore_naive_s}s" \
      "(${explore_naive_states} states); finds:" \
-     "drop ${find_drop}s, keep ${find_keep}s, skip ${find_skip}s"
+     "drop ${find_drop}s, keep ${find_keep}s, skip ${find_skip}s," \
+     "nack ${find_nack}s"
 echo "wrote $explore_json"
 
 # Many-core directory/NUMA grid: the matched 16-CPU snoop-vs-directory
@@ -410,13 +421,19 @@ grep -q "all shape checks passed" /tmp/middlesim_bench_out.txt ||
 cat /tmp/middlesim_bench_out.txt
 
 # Table row for cpus=$1 protocol=$2 -> "tx mpki coh remote hops msgs".
+# Protocol labels are unique per row kind: the contended companion
+# grid prints "dir+ring"/"dir+mesh", never plain "directory".
 manycore_row() {
     awk -v c="$1" -v p="$2" '$1 == c && $2 == p {
         print $5, $6, $7, $8, $9, $10 }' /tmp/middlesim_bench_out.txt
 }
+# One benchmark block: $1=cpus $2=table protocol label $3=protocol
+# $4=topology $5=occupancy slots (the meta every block records).
 manycore_point() {
-    set -- $(manycore_row "$1" "$2")
-    printf '{"tx": %s, "data_mpki": %s, "coh_pct": %s, "remote_pct": %s, "hops_per_miss": %s, "msgs_per_miss": %s}' \
+    local cpus="$1" label="$2" proto="$3" topo="$4" occ="$5"
+    set -- $(manycore_row "$cpus" "$label")
+    printf '{"protocol": "%s", "topology": "%s", "dir_occupancy": %s, "tx": %s, "data_mpki": %s, "coh_pct": %s, "remote_pct": %s, "hops_per_miss": %s, "msgs_per_miss": %s}' \
+        "$proto" "$topo" "$occ" \
         "${1:-null}" "${2:-null}" "${3:-null}" "${4:-null}" \
         "${5:-null}" "${6:-null}"
 }
@@ -424,16 +441,30 @@ manycore_point() {
 manycore_json="BENCH_manycore.json"
 {
     echo "{"
-    printf '  "schema": "middlesim-bench-manycore-v1",\n'
+    printf '  "schema": "middlesim-bench-manycore-v2",\n'
     printf '  "wall_s": %s,\n' "$manycore_s"
     printf '  "shape_checks_passed": %s,\n' "$manycore_ok"
-    printf '  "snoop_16": %s,\n' "$(manycore_point 16 snoop)"
-    printf '  "directory_16": %s,\n' "$(manycore_point 16 directory)"
-    printf '  "directory_64": %s,\n' "$(manycore_point 64 directory)"
-    printf '  "directory_128": %s,\n' "$(manycore_point 128 directory)"
+    printf '  "snoop_16": %s,\n' \
+        "$(manycore_point 16 snoop snoop ring 0)"
+    printf '  "directory_16": %s,\n' \
+        "$(manycore_point 16 directory directory ring 0)"
+    printf '  "directory_64": %s,\n' \
+        "$(manycore_point 64 directory directory ring 0)"
+    printf '  "directory_128": %s,\n' \
+        "$(manycore_point 128 directory directory ring 0)"
+    printf '  "contended_ring_64": %s,\n' \
+        "$(manycore_point 64 dir+ring directory ring 4)"
+    printf '  "contended_mesh_64": %s,\n' \
+        "$(manycore_point 64 dir+mesh directory mesh 4)"
+    printf '  "contended_ring_256": %s,\n' \
+        "$(manycore_point 256 dir+ring directory ring 4)"
+    printf '  "contended_mesh_256": %s,\n' \
+        "$(manycore_point 256 dir+mesh directory mesh 4)"
     printf '  "time_compressed_beyond_64cpus": true,\n'
     printf '  "models_validated_at_16cpus": true,\n'
     printf '  "gc_free_window_beyond_16cpus": true,\n'
+    printf '  "contention_model_epoch_queue_heuristic": true,\n'
+    printf '  "contended_latency_cdf_bucketed_not_per_miss": true,\n'
     printf '  "jobs_used": %s,\n' "$jobs_parallel"
     printf '  "degraded_parallelism": %s\n' "$degraded_parallelism"
     echo "}"

@@ -437,6 +437,24 @@ MemChecker::postAccess(const mem::MemRef &ref,
             }
             lastAckDelta_ = delta;
         }
+
+        // Starvation accounting: the access path fails a transaction
+        // forward after kDirRetryBound NACKed attempts and bumps the
+        // livelock-break counter; every new break is a livelock the
+        // bounded-backoff argument (DESIGN.md §3.15) says cannot
+        // happen on an honest contended home.
+        const std::uint64_t breaks = dir_->livelockBreaks();
+        if (breaks > lastLivelockBreaks_) {
+            report_.violate("dir.livelock",
+                formatMessage("block 0x", std::hex, block, std::dec,
+                              ": home NACKed ",
+                              mem::kDirRetryBound,
+                              " consecutive attempts; requester "
+                              "failed forward (", breaks,
+                              " break(s) total)"),
+                now);
+            lastLivelockBreaks_ = breaks;
+        }
     }
 
     // Shadow bookkeeping, mirroring classifyMiss() and the

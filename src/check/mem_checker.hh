@@ -127,6 +127,9 @@ class MemChecker final : public mem::AccessObserver
     /** Last reported sent-minus-acked delta (dedups ack reports). */
     std::uint64_t lastAckDelta_ = 0;
 
+    /** Livelock breaks seen so far (each new one is one violation). */
+    std::uint64_t lastLivelockBreaks_ = 0;
+
     // GC window state.
     bool gcWindow_ = false;
     mem::Addr youngBase_ = 0;

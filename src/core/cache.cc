@@ -35,7 +35,7 @@ constexpr bool sizePinned = !kLp64 || sizeof(T) == Expected;
                   "then re-pin the size here")
 
 MIDDLESIM_PIN_SIZE(sim::CacheParams, 16);
-MIDDLESIM_PIN_SIZE(sim::MachineConfig, 72);
+MIDDLESIM_PIN_SIZE(sim::MachineConfig, 80);
 MIDDLESIM_PIN_SIZE(mem::LatencyModel, 72);
 MIDDLESIM_PIN_SIZE(cpu::CoreParams, 32);
 MIDDLESIM_PIN_SIZE(jvm::HeapParams, 32);
@@ -43,8 +43,8 @@ MIDDLESIM_PIN_SIZE(jvm::JvmParams, 96);
 MIDDLESIM_PIN_SIZE(os::KernelParams, 40);
 MIDDLESIM_PIN_SIZE(workload::SpecJbbParams, 200);
 MIDDLESIM_PIN_SIZE(workload::EcperfParams, 144);
-MIDDLESIM_PIN_SIZE(SystemConfig, 368);
-MIDDLESIM_PIN_SIZE(ExperimentSpec, 776);
+MIDDLESIM_PIN_SIZE(SystemConfig, 376);
+MIDDLESIM_PIN_SIZE(ExperimentSpec, 792);
 
 #undef MIDDLESIM_PIN_SIZE
 
@@ -67,6 +67,8 @@ encodeMachine(sim::ByteWriter &w, const sim::MachineConfig &m)
     w.u32(m.cpusPerL2);
     w.u8(static_cast<std::uint8_t>(m.protocol));
     w.u32(m.numaNodes);
+    w.u8(static_cast<std::uint8_t>(m.topology));
+    w.u32(m.dirOccupancy);
 }
 
 void
@@ -203,6 +205,8 @@ encodeSpecKey(const ExperimentSpec &spec)
     w.u32(spec.cpusPerL2);
     w.u8(static_cast<std::uint8_t>(spec.protocol));
     w.u32(spec.numaNodes);
+    w.u8(static_cast<std::uint8_t>(spec.topology));
+    w.u32(spec.dirOccupancy);
     w.u32(spec.scale);
     w.u64(spec.warmup);
     w.u64(spec.measure);

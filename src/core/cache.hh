@@ -42,7 +42,7 @@ namespace middlesim::core
  * stored results (see EXPERIMENTS.md "When to wipe the cache"); old
  * files then read as misses.
  */
-inline constexpr const char *cacheSchemaVersion = "middlesim-cache-v2";
+inline constexpr const char *cacheSchemaVersion = "middlesim-cache-v3";
 
 /**
  * Canonical, version-stamped structural encoding of an ExperimentSpec:

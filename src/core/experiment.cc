@@ -66,6 +66,8 @@ buildSystem(const ExperimentSpec &spec, BuiltWorkload &out)
     cfg.machine.cpusPerL2 = spec.cpusPerL2;
     cfg.machine.protocol = spec.protocol;
     cfg.machine.numaNodes = spec.numaNodes;
+    cfg.machine.topology = spec.topology;
+    cfg.machine.dirOccupancy = spec.dirOccupancy;
 
     auto system = std::make_unique<System>(cfg, spec.seed);
     if (check::checkingEnabled())

@@ -58,6 +58,10 @@ struct ExperimentSpec
     sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
     /** NUMA nodes (directory protocol; 1 = flat UMA machine). */
     unsigned numaNodes = 1;
+    /** Node interconnect (directory protocol): ring or 2-D mesh. */
+    sim::Topology topology = sim::Topology::Ring;
+    /** Home in-flight slots (0 = contention-free, DESIGN.md §3.15). */
+    unsigned dirOccupancy = 0;
 
     /** Warehouses (SPECjbb) or Orders Injection Rate (ECperf);
      *  0 selects the auto rule (warehouses = appCpus, OIR = 8). */

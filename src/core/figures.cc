@@ -57,6 +57,8 @@ scalingSpec(WorkloadKind kind, unsigned cpus, const FigureOptions &opt)
     spec.seed = opt.seed;
     spec.protocol = opt.protocol;
     spec.numaNodes = opt.numaNodes;
+    spec.topology = opt.topology;
+    spec.dirOccupancy = opt.dirOccupancy;
     spec.warmup = static_cast<sim::Tick>(
         static_cast<double>(spec.warmup) * opt.timeScale);
     spec.measure = static_cast<sim::Tick>(
@@ -94,6 +96,16 @@ FigureOptions::fromEnv()
         if (v >= 1)
             opt.numaNodes = static_cast<unsigned>(v);
     }
+    if (const char *topo = std::getenv("MIDDLESIM_TOPOLOGY")) {
+        if (*topo != '\0' && !sim::parseTopology(topo, opt.topology))
+            fatal("MIDDLESIM_TOPOLOGY: unknown topology '", topo,
+                  "' (want ring or mesh)");
+    }
+    if (const char *occ = std::getenv("MIDDLESIM_DIR_OCCUPANCY")) {
+        const int v = std::atoi(occ);
+        if (v >= 0)
+            opt.dirOccupancy = static_cast<unsigned>(v);
+    }
     if (opt.runs == 0)
         opt.runs = 1;
     return opt;
@@ -111,12 +123,16 @@ struct SweepCacheEntry
 SweepCacheEntry &
 scalingSweepEntry(const FigureOptions &opt)
 {
-    using Key =
-        std::tuple<unsigned, long, std::uint64_t, unsigned, unsigned>;
+    using Key = std::tuple<unsigned, long, std::uint64_t, unsigned,
+                           unsigned, unsigned, unsigned>;
     static std::map<Key, SweepCacheEntry> cache;
-    const Key key{opt.runs, std::lround(opt.timeScale * 1000),
-                  opt.seed, static_cast<unsigned>(opt.protocol),
-                  opt.numaNodes};
+    const Key key{opt.runs,
+                  std::lround(opt.timeScale * 1000),
+                  opt.seed,
+                  static_cast<unsigned>(opt.protocol),
+                  opt.numaNodes,
+                  static_cast<unsigned>(opt.topology),
+                  opt.dirOccupancy};
     auto it = cache.find(key);
     if (it != cache.end())
         return it->second;

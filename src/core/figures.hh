@@ -37,12 +37,16 @@ struct FigureOptions
     sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
     /** NUMA node count (directory protocol; 1 = flat UMA machine). */
     unsigned numaNodes = 1;
+    /** Interconnect topology (directory protocol; ring is default). */
+    sim::Topology topology = sim::Topology::Ring;
+    /** Home occupancy slots (0 = contention-free directory homes). */
+    unsigned dirOccupancy = 0;
 
     /**
      * Honors MIDDLESIM_RUNS, MIDDLESIM_QUICK (=1: single run, 0.5x
      * intervals), MIDDLESIM_TIMESCALE, MIDDLESIM_PROTOCOL
-     * (snoop|directory) and MIDDLESIM_NUMA_NODES environment
-     * variables.
+     * (snoop|directory), MIDDLESIM_NUMA_NODES, MIDDLESIM_TOPOLOGY
+     * (ring|mesh) and MIDDLESIM_DIR_OCCUPANCY environment variables.
      */
     static FigureOptions fromEnv();
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/metrics_io.hh"
+#include "mem/directory/directory.hh"
 #include "sim/log.hh"
 
 namespace middlesim::core
@@ -80,6 +81,54 @@ derive(const RunResult &r)
         counterOf(r, "mem.dir.put_notices"));
     p.msgsPerMiss = misses > 0.0 ? msgs / misses : 0.0;
     return p;
+}
+
+/** mem.dir.lat.* bucket names, in ascending-edge order. */
+const char *const latBucketNames[] = {
+    "mem.dir.lat.le_64",   "mem.dir.lat.le_128",
+    "mem.dir.lat.le_256",  "mem.dir.lat.le_512",
+    "mem.dir.lat.le_1024", "mem.dir.lat.le_2048",
+    "mem.dir.lat.le_4096", "mem.dir.lat.gt_4096"};
+constexpr unsigned numLatBuckets = 8;
+
+/** Table/series label of a point's interconnect configuration. */
+const char *
+protocolLabel(const ExperimentSpec &s)
+{
+    if (s.dirOccupancy == 0)
+        return sim::toString(s.protocol);
+    return s.topology == sim::Topology::Mesh ? "dir+mesh"
+                                             : "dir+ring";
+}
+
+/** Home+link queueing delay per L2 miss of one contended point. */
+double
+queueDelayPerMiss(const RunResult &r)
+{
+    const double misses = static_cast<double>(r.cache.l2Misses());
+    const double delay = static_cast<double>(
+        counterOf(r, "mem.dir.occupancy_queue_delay") +
+        counterOf(r, "mem.numa.link.queue_delay"));
+    return misses > 0.0 ? delay / misses : 0.0;
+}
+
+/** Bucket-mass mean of the mem.dir.lat.* miss-latency CDF. */
+double
+meanBucketLatency(const RunResult &r)
+{
+    double total = 0.0, weighted = 0.0;
+    for (unsigned b = 0; b < numLatBuckets; ++b) {
+        const double count =
+            static_cast<double>(counterOf(r, latBucketNames[b]));
+        const double edge =
+            b < numLatBuckets - 1
+                ? static_cast<double>(mem::kDirLatEdges[b])
+                : 2.0 * static_cast<double>(
+                            mem::kDirLatEdges[numLatBuckets - 2]);
+        total += count;
+        weighted += count * edge;
+    }
+    return total > 0.0 ? weighted / total : 0.0;
 }
 
 } // namespace
@@ -164,6 +213,43 @@ manycoreGridSpecs(const FigureOptions &opt)
     return specs;
 }
 
+unsigned
+manycoreDirOccupancy()
+{
+    return 4;
+}
+
+const std::vector<unsigned> &
+manycoreContendedCpuCounts()
+{
+    static const std::vector<unsigned> counts = {64, 128, 256};
+    return counts;
+}
+
+ExperimentSpec
+manycoreContendedSpec(unsigned cpus, sim::Topology topology,
+                      const FigureOptions &opt)
+{
+    ExperimentSpec spec = manycoreSpec(
+        cpus, sim::CoherenceProtocol::DirectoryMesi, opt);
+    spec.topology = topology;
+    spec.dirOccupancy = manycoreDirOccupancy();
+    return spec;
+}
+
+std::vector<ExperimentSpec>
+manycoreContendedGridSpecs(const FigureOptions &opt)
+{
+    std::vector<ExperimentSpec> specs;
+    for (unsigned cpus : manycoreContendedCpuCounts()) {
+        specs.push_back(
+            manycoreContendedSpec(cpus, sim::Topology::Ring, opt));
+        specs.push_back(
+            manycoreContendedSpec(cpus, sim::Topology::Mesh, opt));
+    }
+    return specs;
+}
+
 FigureResult
 runManycore(const FigureOptions &opt)
 {
@@ -172,7 +258,11 @@ runManycore(const FigureOptions &opt)
     fig.title = "SPECjbb beyond the bus: directory MESI + NUMA at "
                 "16-512 processors";
 
-    const std::vector<ExperimentSpec> specs = manycoreGridSpecs(opt);
+    std::vector<ExperimentSpec> specs = manycoreGridSpecs(opt);
+    const std::size_t cbase = specs.size();
+    const std::vector<ExperimentSpec> contended =
+        manycoreContendedGridSpecs(opt);
+    specs.insert(specs.end(), contended.begin(), contended.end());
     const std::vector<RunResult> results = runGrid(specs);
     for (std::size_t i = 0; i < specs.size(); ++i)
         fig.metricsByPoint.emplace(pointName(specs[i]),
@@ -188,19 +278,46 @@ runManycore(const FigureOptions &opt)
         const ExperimentSpec &s = specs[i];
         points[i] = derive(results[i]);
         const ManycorePoint &p = points[i];
-        if (s.protocol == sim::CoherenceProtocol::DirectoryMesi) {
+        if (s.protocol == sim::CoherenceProtocol::DirectoryMesi &&
+            s.dirOccupancy == 0) {
             mpki.add(s.totalCpus, p.mpki);
             remote.add(s.totalCpus, p.remoteFrac);
             hops.add(s.totalCpus, p.hopsPerMiss);
         }
         table.addRow(
-            {fmt(s.totalCpus, 0), sim::toString(s.protocol),
+            {fmt(s.totalCpus, 0), protocolLabel(s),
              fmt(s.numaNodes, 0),
              fmt(manycoreTimeCompression(s.totalCpus), 3),
              fmt(static_cast<double>(results[i].txTotal), 0),
              fmt(p.mpki, 2), fmt(100.0 * p.cohShare, 1),
              fmt(100.0 * p.remoteFrac, 1), fmt(p.hopsPerMiss, 2),
              fmt(p.msgsPerMiss, 2)});
+    }
+
+    // Fig 14/15-style communication-latency CDF per contended point:
+    // cumulative fraction of directory misses completing within each
+    // mem.dir.lat.* bucket edge.
+    std::vector<Series> latCdfs;
+    for (std::size_t i = cbase; i < specs.size(); ++i) {
+        const ExperimentSpec &s = specs[i];
+        Series cdf(std::string("lat-cdf-") + protocolLabel(s) + "-" +
+                   std::to_string(s.totalCpus));
+        double total = 0.0;
+        for (unsigned b = 0; b < numLatBuckets; ++b)
+            total += static_cast<double>(
+                counterOf(results[i], latBucketNames[b]));
+        double cum = 0.0;
+        for (unsigned b = 0; b < numLatBuckets; ++b) {
+            cum += static_cast<double>(
+                counterOf(results[i], latBucketNames[b]));
+            const double edge =
+                b < numLatBuckets - 1
+                    ? static_cast<double>(mem::kDirLatEdges[b])
+                    : 2.0 * static_cast<double>(
+                                mem::kDirLatEdges[numLatBuckets - 2]);
+            cdf.add(edge, total > 0.0 ? cum / total : 0.0);
+        }
+        latCdfs.push_back(std::move(cdf));
     }
 
     // Index 0 is the snoop anchor; indices 1.. mirror
@@ -259,7 +376,78 @@ runManycore(const FigureOptions &opt)
             counterOf(snoop16, "mem.numa.hops") == 0,
         "snoop metrics stay directory-free"));
 
+    // Contended companion grid: ring/mesh per CPU count, in
+    // manycoreContendedGridSpecs order.
+    const RunResult &ring64 = results[cbase + 0];
+    const RunResult &ring256 = results[cbase + 4];
+    const RunResult &mesh256 = results[cbase + 5];
+    const ManycorePoint &pRing256 = points[cbase + 4];
+    const ManycorePoint &pMesh256 = points[cbase + 5];
+
+    bool no_breaks = true, all_busy = true;
+    std::string break_detail, busy_detail;
+    for (std::size_t i = cbase; i < results.size(); ++i) {
+        const std::uint64_t breaks =
+            counterOf(results[i], "mem.dir.livelock_breaks");
+        if (breaks != 0) {
+            no_breaks = false;
+            break_detail += " " + std::string(protocolLabel(specs[i])) +
+                            "@" + std::to_string(specs[i].totalCpus) +
+                            "=" + std::to_string(breaks);
+        }
+        if (counterOf(results[i], "mem.dir.occupancy_busy_cycles") ==
+                0 ||
+            counterOf(results[i], "mem.numa.link.busy_cycles") == 0) {
+            all_busy = false;
+            busy_detail += " " + std::string(protocolLabel(specs[i])) +
+                           "@" + std::to_string(specs[i].totalCpus);
+        }
+    }
+    fig.checks.push_back(check(
+        "honest contended runs never break the retry bound",
+        no_breaks,
+        no_breaks ? "mem.dir.livelock_breaks=0 at every contended "
+                    "point"
+                  : "breaks at" + break_detail));
+    fig.checks.push_back(check(
+        "contended homes and links both measure busy occupancy",
+        all_busy,
+        all_busy ? "occupancy and link busy cycles > 0 everywhere"
+                 : "zero busy cycles at" + busy_detail));
+    fig.checks.push_back(check(
+        "queuing delay per miss grows with machine size on the ring",
+        queueDelayPerMiss(ring256) > queueDelayPerMiss(ring64),
+        "queue-delay/miss ring 64cpu=" +
+            fmt(queueDelayPerMiss(ring64), 2) + " 256cpu=" +
+            fmt(queueDelayPerMiss(ring256), 2)));
+    fig.checks.push_back(check(
+        "the mesh needs fewer hops per miss than the ring at 256 "
+        "CPUs",
+        pMesh256.hopsPerMiss < pRing256.hopsPerMiss,
+        "hops/miss ring=" + fmt(pRing256.hopsPerMiss, 2) + " mesh=" +
+            fmt(pMesh256.hopsPerMiss, 2)));
+    fig.checks.push_back(check(
+        "the mesh's miss-latency distribution beats the "
+        "bisection-limited ring at 256 CPUs",
+        meanBucketLatency(mesh256) < meanBucketLatency(ring256) &&
+            meanBucketLatency(mesh256) > 0.0,
+        "bucket-mean latency ring=" +
+            fmt(meanBucketLatency(ring256), 1) + " mesh=" +
+            fmt(meanBucketLatency(mesh256), 1)));
+    bool base_clean = true;
+    for (std::size_t i = 0; i < cbase; ++i)
+        base_clean = base_clean &&
+                     counterOf(results[i], "mem.dir.nacks") == 0 &&
+                     counterOf(results[i],
+                               "mem.dir.occupancy_queue_delay") == 0;
+    fig.checks.push_back(check(
+        "the contention-free grid registers no contended-mode "
+        "counters",
+        base_clean, "occupancy=0 points carry no nack/queue metrics"));
+
     fig.measured = {mpki, remote, hops};
+    for (Series &cdf : latCdfs)
+        fig.measured.push_back(std::move(cdf));
     fig.table = table;
     return fig;
 }

@@ -19,6 +19,17 @@
  * shrinks as 64/cpus) so the 512-CPU point stays simulable; the table
  * flags the compression factor per point and the BENCH harness carries
  * it as an honesty flag.
+ *
+ * A contended companion grid re-runs 64/128/256 CPUs with the home
+ * occupancy/NACK model armed (DESIGN.md §3.15) under both the ring
+ * and the dimension-ordered-XY mesh interconnect, re-deriving the
+ * paper's Figure 14/15-style communication-latency distributions as
+ * mem.dir.lat.* CDFs per point. Its shape checks pin the queueing
+ * claims: delay grows with machine size on the bisection-limited
+ * ring, the mesh beats the ring at scale, and honest runs never break
+ * a livelock bound. The contention-free grid above is byte-identical
+ * with or without this companion (occupancy 0 registers none of the
+ * contended counters).
  */
 
 #ifndef CORE_MANYCORE_HH
@@ -49,6 +60,24 @@ manycoreSpec(unsigned cpus, sim::CoherenceProtocol protocol,
 /** The flattened grid (snoop anchor + every directory point). */
 std::vector<ExperimentSpec>
 manycoreGridSpecs(const FigureOptions &opt);
+
+/** Home occupancy slots armed at the contended points. */
+unsigned manycoreDirOccupancy();
+
+/** CPU counts of the contended ring-vs-mesh comparison. */
+const std::vector<unsigned> &manycoreContendedCpuCounts();
+
+/**
+ * One contended point: the directory machine of manycoreSpec with
+ * bounded home occupancy and the given interconnect topology.
+ */
+ExperimentSpec
+manycoreContendedSpec(unsigned cpus, sim::Topology topology,
+                      const FigureOptions &opt);
+
+/** The contended companion grid (ring + mesh per CPU count). */
+std::vector<ExperimentSpec>
+manycoreContendedGridSpecs(const FigureOptions &opt);
 
 /** The many-core figure: tables, curves and shape checks. */
 FigureResult runManycore(const FigureOptions &opt = {});

@@ -18,6 +18,10 @@ pointName(const ExperimentSpec &spec)
         name += std::string("/") + sim::toString(spec.protocol);
     if (spec.numaNodes != 1)
         name += "/numa=" + std::to_string(spec.numaNodes);
+    if (spec.topology != sim::Topology::Ring)
+        name += std::string("/") + sim::toString(spec.topology);
+    if (spec.dirOccupancy != 0)
+        name += "/occ=" + std::to_string(spec.dirOccupancy);
     name += "/seed=" + std::to_string(spec.seed);
     return name;
 }

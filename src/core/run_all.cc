@@ -243,7 +243,9 @@ runAllMain(int argc, char **argv)
     std::string fabric_worker_cmd;
     std::string fabric_metrics_out;
     std::string protocol_flag;
+    std::string topology_flag;
     unsigned numa_nodes = 0;
+    long dir_occupancy = -1;
     bool no_cache = false;
     bool fabric_worker = false;
     unsigned fabric_workers = 0;
@@ -293,6 +295,17 @@ runAllMain(int argc, char **argv)
                 fatal("run_all: bad flag '", arg,
                       "' (want --numa-nodes=N with N >= 1)");
             numa_nodes = static_cast<unsigned>(nodes);
+        } else if (arg.rfind("--topology=", 0) == 0) {
+            topology_flag = arg.substr(11);
+            sim::Topology t;
+            if (!sim::parseTopology(topology_flag, t))
+                fatal("run_all: bad flag '", arg,
+                      "' (want --topology=ring|mesh)");
+        } else if (arg.rfind("--dir-occupancy=", 0) == 0) {
+            dir_occupancy = std::strtol(arg.c_str() + 16, nullptr, 10);
+            if (dir_occupancy < 0)
+                fatal("run_all: bad flag '", arg,
+                      "' (want --dir-occupancy=N with N >= 0)");
         } else if (arg == "--no-cache") {
             no_cache = true;
         } else if (arg == "--check") {
@@ -321,6 +334,7 @@ runAllMain(int argc, char **argv)
                   "--stats-out=PATH, --cache-dir=PATH, --no-cache, "
                   "--check, --trace-out=DIR, --trace-in=DIR, "
                   "--protocol=snoop|directory, --numa-nodes=N, "
+                  "--topology=ring|mesh, --dir-occupancy=N, "
                   "--fabric=N, --fabric-worker, "
                   "--fabric-worker-cmd=CMD, "
                   "--fabric-metrics-out=PATH)");
@@ -359,6 +373,10 @@ runAllMain(int argc, char **argv)
         sim::parseProtocol(protocol_flag, opt.protocol);
     if (numa_nodes != 0)
         opt.numaNodes = numa_nodes;
+    if (!topology_flag.empty())
+        sim::parseTopology(topology_flag, opt.topology);
+    if (dir_occupancy >= 0)
+        opt.dirOccupancy = static_cast<unsigned>(dir_occupancy);
 
     // Worker side of the fabric: same queue, leases in on stdin,
     // results out on stdout. Everything else about this process is
@@ -411,6 +429,13 @@ runAllMain(int argc, char **argv)
             if (numa_nodes != 0)
                 fopt.workerArgv.push_back(
                     "--numa-nodes=" + std::to_string(numa_nodes));
+            if (!topology_flag.empty())
+                fopt.workerArgv.push_back("--topology=" +
+                                          topology_flag);
+            if (dir_occupancy >= 0)
+                fopt.workerArgv.push_back(
+                    "--dir-occupancy=" +
+                    std::to_string(dir_occupancy));
         }
         std::fprintf(stderr,
                      "run_all: fabric: %u worker(s), artifact plane "

@@ -88,7 +88,7 @@ System::run(sim::Tick duration)
         const sim::Tick window_end = now_ + cfg_.window;
         for (unsigned c = 0; c < cfg_.machine.totalCpus; ++c)
             runCpu(c, window_end);
-        mem_->bus().advanceEpoch(cfg_.window);
+        mem_->advanceContentionEpoch(cfg_.window);
         now_ = window_end;
         if (cfg_.samplePeriod > 0 && now_ >= nextSample_) {
             sampleSeries();

@@ -104,6 +104,8 @@ traceHeaderFor(System &system, const ExperimentSpec &spec)
     header.cpusPerL2 = m.cpusPerL2;
     header.protocol = m.protocol;
     header.numaNodes = m.numaNodes;
+    header.topology = m.topology;
+    header.dirOccupancy = m.dirOccupancy;
     header.l1i = m.l1i;
     header.l1d = m.l1d;
     header.l2 = m.l2;

@@ -290,6 +290,11 @@ reportJson(const ExploreResult &result, const ReportConfig &config)
     std::snprintf(buf, sizeof buf, "  \"numa_nodes\": %u,\n",
                   config.numaNodes);
     out += buf;
+    out += "  \"topology\": \"" +
+           std::string(sim::toString(config.topology)) + "\",\n";
+    std::snprintf(buf, sizeof buf, "  \"dir_occupancy\": %u,\n",
+                  config.dirOccupancy);
+    out += buf;
     out += "  \"inject\": \"" + jsonEscape(config.inject) + "\",\n";
     std::snprintf(buf, sizeof buf,
                   "  \"depth_budget\": %u,\n  \"dpor\": %s,\n",

@@ -115,6 +115,8 @@ struct ReportConfig
     unsigned cpusPerL2 = 1;
     sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
     unsigned numaNodes = 1;
+    sim::Topology topology = sim::Topology::Ring;
+    unsigned dirOccupancy = 0;
     unsigned blocks = 0;
     unsigned refs = 0;
     std::uint64_t seed = 0;

@@ -29,7 +29,8 @@ l2SetOf(mem::Addr addr, const trace::TraceHeader &h)
 
 trace::TraceHeader
 exploreHeader(unsigned cpus, unsigned cpus_per_l2, std::uint64_t seed,
-              sim::CoherenceProtocol protocol, unsigned numa_nodes)
+              sim::CoherenceProtocol protocol, unsigned numa_nodes,
+              sim::Topology topology, unsigned dir_occupancy)
 {
     trace::TraceHeader h;
     h.specKey = "";
@@ -39,6 +40,8 @@ exploreHeader(unsigned cpus, unsigned cpus_per_l2, std::uint64_t seed,
     h.cpusPerL2 = cpus_per_l2;
     h.protocol = protocol;
     h.numaNodes = numa_nodes;
+    h.topology = topology;
+    h.dirOccupancy = dir_occupancy;
     // Small but real geometry: the block pool fits with room to
     // spare, so exploration never depends on victim-selection order
     // (the engine still reports capacity misses should one occur).
@@ -88,6 +91,17 @@ conflict(const mem::MemRef &a, const mem::MemRef &b,
         return true;
     if (blockOf(a.addr) == blockOf(b.addr))
         return mem::isWrite(a.type) || mem::isWrite(b.type);
+    // Contended directory homes serialize: two misses to different
+    // blocks homed at the same node race for the same occupancy slots
+    // (and for NACK decisions), so their order is observable through
+    // the retry counters and the transient windows.
+    if (header.dirOccupancy != 0 &&
+        header.protocol == sim::CoherenceProtocol::DirectoryMesi) {
+        const sim::MachineConfig m = header.machine();
+        if (m.homeNodeOf(blockOf(a.addr), m.l2.blockBytes) ==
+            m.homeNodeOf(blockOf(b.addr), m.l2.blockBytes))
+            return true;
+    }
     // Different blocks only interact through victim selection in a
     // shared L2 set; private L2s (cpusPerL2 == 1) cannot.
     const unsigned ga = a.cpu / header.cpusPerL2;

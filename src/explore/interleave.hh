@@ -53,7 +53,9 @@ trace::TraceHeader
 exploreHeader(unsigned cpus, unsigned cpus_per_l2, std::uint64_t seed,
               sim::CoherenceProtocol protocol =
                   sim::CoherenceProtocol::SnoopBus,
-              unsigned numa_nodes = 1);
+              unsigned numa_nodes = 1,
+              sim::Topology topology = sim::Topology::Ring,
+              unsigned dir_occupancy = 0);
 
 /**
  * Deterministic per-CPU streams: `refs` references total, dealt

@@ -20,23 +20,74 @@
  *                      hierarchy.cc) keeps the vector exact.
  *
  * Latency: every home transaction pays directoryLookup plus hop-count
- * ring distance each way; a forward adds the home->owner and
- * owner->requester legs and lands as a cacheToCache transfer.
- * Invalidation/ack fan-out overlaps the data response, so it adds
- * hops to the traffic accounting but not to the critical path.
+ * topology distance (ring or dimension-ordered XY mesh) each way; a
+ * forward adds the home->owner and owner->requester legs and lands as
+ * a cacheToCache transfer. Invalidation/ack fan-out overlaps the data
+ * response, so it adds hops to the traffic accounting but not to the
+ * critical path. With MachineConfig::dirOccupancy armed the request
+ * additionally wins a home slot through the NACK/retry loop
+ * (dirHomeAcquire) and queues on every interconnect link it crosses
+ * (DESIGN.md §3.15).
  *
  * Fault hooks (checker validation, never production): DropInvalidate
  * loses the invalidation in flight (stale copy survives, home clears
  * the bit anyway); DropInvalAck delivers the invalidation but loses
  * the ack (copy dies, stale sharer bit survives); KeepOwnerOnSnoop
- * leaves a forwarded owner in M/E while the home records a downgrade.
+ * leaves a forwarded owner in M/E while the home records a downgrade;
+ * NackStorm (contended homes only) makes the home NACK the matched
+ * requester forever, exhausting the bounded retry budget.
  */
+
+#include <algorithm>
 
 #include "mem/hierarchy.hh"
 #include "sim/log.hh"
 
 namespace middlesim::mem
 {
+
+sim::Tick
+Hierarchy::dirHomeAcquire(Addr block, unsigned group, unsigned home,
+                          unsigned req_hops, DirEntry &entry,
+                          sim::Tick now)
+{
+    if (!dir_->contended())
+        return 0;
+    // Each failed attempt costs the request/NACK round trip plus an
+    // exponentially growing backoff. Slot reservations and transient
+    // windows are fixed ticks, so absent a nack-storm fault the
+    // cumulative backoff always overtakes them within kDirRetryBound
+    // attempts (livelock freedom, DESIGN.md §3.15).
+    const sim::Tick round_trip = 2 * req_hops * lat_.hop;
+    sim::Tick extra = 0;
+    for (unsigned attempt = 0;; ++attempt) {
+        const sim::Tick t = now + extra;
+        const bool transient =
+            entry.transientUntil > t &&
+            entry.transientUntil - t <= kDirNackHorizon;
+        sim::Tick queue = 0;
+        if (!faultFires(FaultPlan::Kind::NackStorm, block, group) &&
+            !transient &&
+            dir_->tryAcquireHome(home, t, lat_.directoryLookup,
+                                 queue)) {
+            entry.transientUntil = t + queue + lat_.directoryLookup;
+            return extra + queue;
+        }
+        dir_->noteNack();
+        if (attempt + 1 >= kDirRetryBound) {
+            // Retry budget exhausted: starvation. Fail forward —
+            // complete the transaction rather than hang — and raise
+            // the signal the checker reports as `dir.livelock`.
+            dir_->noteLivelockBreak();
+            return extra;
+        }
+        dir_->noteRetry();
+        const sim::Tick backoff =
+            kDirNackBackoffBase
+            << std::min(attempt, kDirNackBackoffCap);
+        extra += round_trip + backoff;
+    }
+}
 
 bool
 Hierarchy::dirInvalidateSharers(Addr block, unsigned group,
@@ -49,8 +100,7 @@ Hierarchy::dirInvalidateSharers(Addr block, unsigned group,
     targets.forEachSetExcept(group, [&](unsigned g) {
         ++dir_->invalidationsSent();
         ++inval_count;
-        dir_->hopsTraversed() +=
-            2 * cfg_.hopsBetween(home, cfg_.nodeOfGroup(g));
+        dir_->chargeHops(home, cfg_.nodeOfGroup(g), 2);
         CacheLine *peer = l2_[g].find(block);
         sim_assert(peer || fault_,
                    "directory sharer vector out of sync (invalidate)");
@@ -116,7 +166,11 @@ Hierarchy::l2AccessDirectory(const MemRef &ref, sim::Tick now,
         LineMeta &meta = meta_[block];
         DirEntry &entry = dir_->entry(block);
         ++dir_->upgrades();
-        dir_->hopsTraversed() += 2 * req_hops;
+        dir_->chargeHops(my_node, home, 2);
+        const sim::Tick contention =
+            dirHomeAcquire(block, group, home, req_hops, entry, now) +
+            dir_->linkTraverse(my_node, home, lat_.hop) +
+            dir_->linkTraverse(home, my_node, lat_.hop);
         unsigned invals = 0;
         dirInvalidateSharers(block, group, false, entry, meta, invals);
         entry.sharers.set(group);
@@ -125,7 +179,7 @@ Hierarchy::l2AccessDirectory(const MemRef &ref, sim::Tick now,
         l2.touch(*line);
         ++st.upgrades;
         const sim::Tick latency = lat_.upgrade + lat_.directoryLookup +
-                                  2 * req_hops * lat_.hop;
+                                  2 * req_hops * lat_.hop + contention;
         return {latency, ServedBy::UpgradeOnly, MissClass::None};
     }
 
@@ -135,11 +189,18 @@ Hierarchy::l2AccessDirectory(const MemRef &ref, sim::Tick now,
     DirEntry &entry = dir_->entry(block);
     bool peer_supplied = false;
     sim::Tick data_leg = lat_.memory;
-    dir_->hopsTraversed() += 2 * req_hops;
+    dir_->chargeHops(my_node, home, 2);
     if (req_hops == 0)
         ++dir_->localMisses();
     else
         ++dir_->remoteMisses();
+    // Contended mode: win a home slot (NACK/retry/backoff), then
+    // queue the request leg onto the interconnect links. The response
+    // leg is charged per branch below — it runs home -> requester, or
+    // along the forward path when an owner supplies the data.
+    sim::Tick contention =
+        dirHomeAcquire(block, group, home, req_hops, entry, now) +
+        dir_->linkTraverse(my_node, home, lat_.hop);
 
     if (want_write) {
         ++dir_->getM();
@@ -158,9 +219,18 @@ Hierarchy::l2AccessDirectory(const MemRef &ref, sim::Tick now,
                     static_cast<unsigned>(prev_owner));
                 fwd_hops = cfg_.hopsBetween(home, owner_node) +
                            cfg_.hopsBetween(owner_node, my_node);
+                dir_->chargeHops(home, owner_node, 1);
+                dir_->chargeHops(owner_node, my_node, 1);
+                contention +=
+                    dir_->linkTraverse(home, owner_node, lat_.hop) +
+                    dir_->linkTraverse(owner_node, my_node, lat_.hop);
+            } else {
+                contention +=
+                    dir_->linkTraverse(home, my_node, lat_.hop);
             }
-            dir_->hopsTraversed() += fwd_hops;
             data_leg = lat_.cacheToCache + fwd_hops * lat_.hop;
+        } else {
+            contention += dir_->linkTraverse(home, my_node, lat_.hop);
         }
         entry.sharers.set(group);
         entry.owner = static_cast<std::int32_t>(group);
@@ -189,20 +259,28 @@ Hierarchy::l2AccessDirectory(const MemRef &ref, sim::Tick now,
                 const unsigned fwd_hops =
                     cfg_.hopsBetween(home, owner_node) +
                     cfg_.hopsBetween(owner_node, my_node);
-                dir_->hopsTraversed() += fwd_hops;
+                dir_->chargeHops(home, owner_node, 1);
+                dir_->chargeHops(owner_node, my_node, 1);
+                contention +=
+                    dir_->linkTraverse(home, owner_node, lat_.hop) +
+                    dir_->linkTraverse(owner_node, my_node, lat_.hop);
                 data_leg = lat_.cacheToCache + fwd_hops * lat_.hop;
             }
             // The home records the downgrade either way.
             entry.owner = -1;
         }
+        if (!peer_supplied)
+            contention += dir_->linkTraverse(home, my_node, lat_.hop);
         const bool solo = entry.sharers.none();
         entry.sharers.set(group);
         if (solo)
             entry.owner = static_cast<std::int32_t>(group);
     }
 
-    const sim::Tick latency =
-        lat_.directoryLookup + 2 * req_hops * lat_.hop + data_leg;
+    const sim::Tick latency = lat_.directoryLookup +
+                              2 * req_hops * lat_.hop + data_leg +
+                              contention;
+    dir_->recordMissLatency(latency);
     ServedBy served;
     if (peer_supplied) {
         served = ServedBy::Peer;
@@ -274,7 +352,11 @@ Hierarchy::l2BlockStoreDirectory(const MemRef &ref, sim::Tick now)
         LineMeta &meta = meta_[block];
         DirEntry &entry = dir_->entry(block);
         ++dir_->upgrades();
-        dir_->hopsTraversed() += 2 * req_hops;
+        dir_->chargeHops(my_node, home, 2);
+        const sim::Tick contention =
+            dirHomeAcquire(block, group, home, req_hops, entry, now) +
+            dir_->linkTraverse(my_node, home, lat_.hop) +
+            dir_->linkTraverse(home, my_node, lat_.hop);
         unsigned invals = 0;
         dirInvalidateSharers(block, group, false, entry, meta, invals);
         entry.sharers.set(group);
@@ -282,7 +364,7 @@ Hierarchy::l2BlockStoreDirectory(const MemRef &ref, sim::Tick now)
         line->state = CoherenceState::Modified;
         l2.touch(*line);
         const sim::Tick latency = lat_.l2Hit + lat_.directoryLookup +
-                                  2 * req_hops * lat_.hop;
+                                  2 * req_hops * lat_.hop + contention;
         return {latency, ServedBy::L2, MissClass::None};
     }
 
@@ -291,7 +373,11 @@ Hierarchy::l2BlockStoreDirectory(const MemRef &ref, sim::Tick now)
     LineMeta &meta = meta_[block];
     DirEntry &entry = dir_->entry(block);
     ++dir_->getM();
-    dir_->hopsTraversed() += 2 * req_hops;
+    dir_->chargeHops(my_node, home, 2);
+    const sim::Tick contention =
+        dirHomeAcquire(block, group, home, req_hops, entry, now) +
+        dir_->linkTraverse(my_node, home, lat_.hop) +
+        dir_->linkTraverse(home, my_node, lat_.hop);
     unsigned invals = 0;
     dirInvalidateSharers(block, group, false, entry, meta, invals);
     meta.everCachedMask.set(group);
@@ -304,8 +390,8 @@ Hierarchy::l2BlockStoreDirectory(const MemRef &ref, sim::Tick now)
     meta.presenceMask.set(group);
     entry.sharers.set(group);
     entry.owner = static_cast<std::int32_t>(group);
-    const sim::Tick latency =
-        lat_.l2Hit + lat_.directoryLookup + 2 * req_hops * lat_.hop;
+    const sim::Tick latency = lat_.l2Hit + lat_.directoryLookup +
+                              2 * req_hops * lat_.hop + contention;
     return {latency, ServedBy::L2, MissClass::None};
 }
 

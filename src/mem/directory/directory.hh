@@ -21,21 +21,63 @@
  * `mem.numa.*` — registered only when the directory protocol is
  * active, so snooping-bus metric output is byte-identical to before
  * this subsystem existed.
+ *
+ * Contention plane (DESIGN.md §3.15, opt-in via
+ * MachineConfig::dirOccupancy): each home owns a bounded set of
+ * in-flight transaction slots plus an epoch-utilization queue
+ * mirroring the bus model's. A request finding every slot busy — or
+ * its block still in the transient window of an earlier transaction —
+ * is NACKed; the requester retries with bounded exponential backoff
+ * (kDirRetryBound attempts). Interconnect hops additionally queue on
+ * per-directed-link utilization models (ring or dimension-ordered XY
+ * mesh routes). All contended-mode counters (`mem.dir.nacks`,
+ * `mem.dir.retries`, `mem.dir.occupancy_*`, `mem.numa.link.*`,
+ * `mem.numa.mesh.*`) are registered only when the plane is enabled,
+ * so contention-free metric output stays byte-identical to PR 9.
  */
 
 #ifndef MEM_DIRECTORY_DIRECTORY_HH
 #define MEM_DIRECTORY_DIRECTORY_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "mem/block_meta.hh"
 #include "mem/memref.hh"
 #include "mem/sharer_set.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
+#include "sim/ticks.hh"
 
 namespace middlesim::mem
 {
+
+/**
+ * Named bound on NACK/retry attempts per home transaction. A
+ * fault-free home always frees a slot (and a block always leaves its
+ * transient window) inside the cumulative backoff horizon of this
+ * many attempts — see the livelock-freedom argument in DESIGN.md
+ * §3.15 — so exceeding it means starvation: the access fails forward
+ * and the checker raises `dir.livelock`.
+ */
+inline constexpr unsigned kDirRetryBound = 16;
+
+/** Exponential-backoff base (ticks): attempt i waits base << min(i, cap). */
+inline constexpr sim::Tick kDirNackBackoffBase = 4;
+
+/** Backoff exponent cap, bounding a single wait at base << cap. */
+inline constexpr unsigned kDirNackBackoffCap = 6;
+
+/**
+ * Horizon (ticks) past which a slot reservation or transient window
+ * is treated as drained. CPUs advance in loose lockstep windows, so a
+ * request's local clock can trail a reservation made by another CPU
+ * by up to a window; a busy-until further ahead than any real
+ * service-plus-queue time is clock skew, not load, and must not NACK
+ * (it would break the bounded-retry guarantee).
+ */
+inline constexpr sim::Tick kDirNackHorizon = 512;
 
 /** Home-node directory record for one block. */
 struct DirEntry
@@ -44,6 +86,12 @@ struct DirEntry
     SharerSet sharers;
     /** Group holding the block Exclusive/Modified; -1 when none. */
     std::int32_t owner = -1;
+    /**
+     * End of the home-side transient window of the last transaction
+     * on this block (0 = quiescent / contention plane disabled).
+     * Requests landing inside the window are NACKed.
+     */
+    sim::Tick transientUntil = 0;
 
     DirEntry() = default;
 
@@ -52,9 +100,10 @@ struct DirEntry
 
 /**
  * The directory protocol's bookkeeping plane: per-block entries plus
- * message/NUMA accounting. Transition logic lives in the Hierarchy's
- * directory access path (mem/directory/dir_access.cc), which mutates
- * entries through this controller.
+ * message/NUMA accounting and (opt-in) home/link contention state.
+ * Transition logic lives in the Hierarchy's directory access path
+ * (mem/directory/dir_access.cc), which mutates entries through this
+ * controller.
  */
 class DirectoryController
 {
@@ -65,6 +114,20 @@ class DirectoryController
      */
     DirectoryController(unsigned num_groups,
                         sim::MetricRegistry *metrics);
+
+    /**
+     * Arm the topology/contention plane from the machine config.
+     * Registers the contended-mode counters (and the mesh per-axis
+     * hop split) only when actually enabled, keeping default metric
+     * output byte-identical to the contention-free model.
+     */
+    void configure(const sim::MachineConfig &cfg);
+
+    /** True when home occupancy / link queuing is modeled. */
+    bool contended() const { return slotsPerHome_ != 0; }
+
+    /** In-flight transaction slots per home (0 = contention-free). */
+    unsigned slotsPerHome() const { return slotsPerHome_; }
 
     /** Find-or-create the entry for a block-aligned address. */
     DirEntry &entry(Addr block) { return entries_[block]; }
@@ -85,6 +148,64 @@ class DirectoryController
 
     /** Drop all entries (invalidateAll). */
     void clear();
+
+    /**
+     * Try to claim an in-flight slot at home `home` for `service`
+     * ticks starting at `now`. On success charges the home's
+     * utilization-queue delay into `queue_delay` (mirroring
+     * Bus::acquire) and occupies the freest slot until the service
+     * completes. Returns false — a NACK — when every slot is busy
+     * within kDirNackHorizon. Contention-free mode always succeeds
+     * with zero delay.
+     */
+    bool tryAcquireHome(unsigned home, sim::Tick now,
+                        sim::Tick service, sim::Tick &queue_delay);
+
+    /**
+     * Queue delay of one message traversing the `from` -> `to` route
+     * (ring or dimension-ordered XY mesh), charging `per_hop`
+     * occupancy into each directed link crossed and the per-axis mesh
+     * hop split. 0 when uncontended or from == to.
+     */
+    sim::Tick linkTraverse(unsigned from, unsigned to,
+                           sim::Tick per_hop);
+
+    /**
+     * Close a utilization epoch of `epoch_len` ticks for every home
+     * and link: utilization measured in it drives queueing delays in
+     * the next epoch (exactly the bus model's scheme). No-op when
+     * uncontended.
+     */
+    void advanceEpoch(sim::Tick epoch_len);
+
+    /**
+     * Account `count` traversals of the a <-> b route: total hops
+     * (mem.numa.hops) plus the per-axis mesh split (mem.numa.mesh.*).
+     */
+    void
+    chargeHops(unsigned a, unsigned b, unsigned count)
+    {
+        hopsTraversed() += count * cfg_.hopsBetween(a, b);
+        if (cfg_.topology == sim::Topology::Mesh) {
+            *meshXHops_ += count * cfg_.meshHopsX(a, b);
+            *meshYHops_ += count * cfg_.meshHopsY(a, b);
+        }
+    }
+
+    /** Bucket a contended-mode miss latency into the mem.dir.lat.* CDF. */
+    void recordMissLatency(sim::Tick latency);
+
+    // NACK/retry accounting, bumped by the access path's retry loop.
+    void noteNack() { ++*nacks_; }
+    void noteRetry() { ++*retries_; }
+    void noteLivelockBreak() { ++*livelockBreaks_; }
+
+    std::uint64_t nacks() const { return nacks_->value(); }
+    std::uint64_t retries() const { return retries_->value(); }
+    std::uint64_t livelockBreaks() const
+    {
+        return livelockBreaks_->value();
+    }
 
     // Message accounting, bumped by the access path.
     sim::Counter &getS() { return *getS_; }
@@ -107,7 +228,33 @@ class DirectoryController
     const sim::Counter &acksReceived() const { return *acksReceived_; }
 
   private:
+    /** One home's contention state: slot reservations + epoch queue. */
+    struct HomeState
+    {
+        std::vector<sim::Tick> slotBusyUntil;
+        sim::Tick epochBusy = 0;
+        double utilization = 0.0;
+    };
+
+    /** One directed interconnect link's epoch-utilization queue. */
+    struct LinkState
+    {
+        sim::Tick epochBusy = 0;
+        double utilization = 0.0;
+    };
+
+    /** Walk one axis of the route, claiming each directed link. */
+    sim::Tick walkAxis(unsigned &node, unsigned coord, unsigned target,
+                       unsigned size, unsigned stride, unsigned fwd_dir,
+                       sim::Tick per_hop);
+
     BlockMetaTableT<DirEntry> entries_;
+    sim::MetricRegistry *metrics_;
+    sim::MachineConfig cfg_;
+
+    unsigned slotsPerHome_ = 0;
+    std::vector<HomeState> homes_;
+    std::vector<LinkState> links_;
 
     sim::Counter *getS_;
     sim::Counter *getM_;
@@ -120,8 +267,28 @@ class DirectoryController
     sim::Counter *localMisses_;
     sim::Counter *remoteMisses_;
     sim::Counter *hopsTraversed_;
-    sim::Counter fallback_[11];
+
+    // Contended-mode counters (fallback-bound until configure()).
+    sim::Counter *nacks_;
+    sim::Counter *retries_;
+    sim::Counter *livelockBreaks_;
+    sim::Counter *occupancyBusyCycles_;
+    sim::Counter *occupancyQueueDelay_;
+    sim::Counter *linkBusyCycles_;
+    sim::Counter *linkQueueDelay_;
+    sim::Counter *meshXHops_;
+    sim::Counter *meshYHops_;
+
+    /** mem.dir.lat.* CDF buckets (upper edges in kDirLatEdges). */
+    static constexpr unsigned kLatBuckets = 8;
+    sim::Counter *latBuckets_[kLatBuckets];
+
+    sim::Counter fallback_[20 + kLatBuckets];
 };
+
+/** Upper edges (ticks) of the mem.dir.lat.* CDF buckets. */
+inline constexpr sim::Tick kDirLatEdges[] = {64,   128,  256, 512,
+                                             1024, 2048, 4096};
 
 } // namespace middlesim::mem
 

@@ -53,6 +53,15 @@ struct FaultPlan
          * classic lost-ack/stale-sharer-vector defect.
          */
         DropInvalAck,
+        /**
+         * Directory only, contended homes only: the home NACKs every
+         * request from the matched group for the matched block
+         * unconditionally, so the requester's bounded retry loop
+         * exhausts its budget — the classic starvation/livelock
+         * defect a NACK-based protocol must prove itself against.
+         * Surfaces as the `dir.livelock` invariant.
+         */
+        NackStorm,
     };
 
     Kind kind = Kind::None;
@@ -88,6 +97,7 @@ toString(FaultPlan::Kind k)
       case FaultPlan::Kind::KeepOwnerOnSnoop:     return "keep-owner";
       case FaultPlan::Kind::SkipL1BackInvalidate: return "skip-l1-back-inval";
       case FaultPlan::Kind::DropInvalAck:         return "drop-ack";
+      case FaultPlan::Kind::NackStorm:            return "nack-storm";
     }
     return "?";
 }

@@ -44,6 +44,7 @@ Hierarchy::Hierarchy(const sim::MachineConfig &config,
     if (cfg_.protocol == sim::CoherenceProtocol::DirectoryMesi) {
         dir_ = std::make_unique<DirectoryController>(cfg_.numL2s(),
                                                      metrics);
+        dir_->configure(cfg_);
     }
 
     l1i_.reserve(cfg_.totalCpus);

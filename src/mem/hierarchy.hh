@@ -230,6 +230,21 @@ class Hierarchy
 
     const Bus &bus() const { return bus_; }
     Bus &bus() { return bus_; }
+
+    /**
+     * Close one lockstep-window utilization epoch: the bus plus (when
+     * armed) the directory homes and interconnect links. Driven by
+     * System::run on window boundaries; replay/explore paths never
+     * advance epochs, so their utilization-queue delays are zero and
+     * only the tick-driven slot/NACK model is active there.
+     */
+    void
+    advanceContentionEpoch(sim::Tick epoch_len)
+    {
+        bus_.advanceEpoch(epoch_len);
+        if (dir_)
+            dir_->advanceEpoch(epoch_len);
+    }
     const sim::MachineConfig &config() const { return cfg_; }
     const LatencyModel &latency() const { return lat_; }
 
@@ -257,6 +272,17 @@ class Hierarchy
 
     /** Replacement notice to the home (PutS/PutE/PutM). */
     void dirHandlePut(unsigned group, const CacheLine &victim);
+
+    /**
+     * Contended-mode home acquisition: the NACK/retry loop with
+     * bounded exponential backoff (DESIGN.md §3.15). Returns the
+     * extra latency accumulated — NACK round trips, backoff waits and
+     * the home's utilization-queue delay — and marks the block's
+     * transient window on success. 0 when the plane is disabled.
+     */
+    sim::Tick dirHomeAcquire(Addr block, unsigned group, unsigned home,
+                             unsigned req_hops, DirEntry &entry,
+                             sim::Tick now);
 
     /** Common L2-miss accounting tail (class, regions, instr/data). */
     void recordMissTail(const MemRef &ref, MissClass mclass,

@@ -88,6 +88,44 @@ parseProtocol(const std::string &name, CoherenceProtocol &out)
     return false;
 }
 
+/**
+ * Interconnect topology linking the NUMA nodes under the directory
+ * protocol. Ring is the PR 9 baseline (shortest-way-around distance).
+ * Mesh is a 2-D wrap-around mesh (k-ary 2-cube): nodes are arranged
+ * in a near-square grid, messages route dimension-ordered (X first,
+ * then Y, each dimension the shorter way around its row/column ring),
+ * so a W x 1 mesh degenerates to exactly the W-node ring.
+ */
+enum class Topology : std::uint8_t
+{
+    Ring = 0,
+    Mesh = 1,
+};
+
+constexpr const char *
+toString(Topology t)
+{
+    return t == Topology::Mesh ? "mesh" : "ring";
+}
+
+/**
+ * Parse a topology name. Accepts "ring" and "mesh"/"mesh2d"/"torus".
+ * @return false on an unknown name (`out` is left untouched).
+ */
+inline bool
+parseTopology(const std::string &name, Topology &out)
+{
+    if (name == "ring") {
+        out = Topology::Ring;
+        return true;
+    }
+    if (name == "mesh" || name == "mesh2d" || name == "torus") {
+        out = Topology::Mesh;
+        return true;
+    }
+    return false;
+}
+
 /** Configuration of the modeled multiprocessor. */
 struct MachineConfig
 {
@@ -127,6 +165,20 @@ struct MachineConfig
      */
     unsigned numaNodes = 1;
 
+    /** Interconnect topology linking the NUMA nodes. */
+    Topology topology = Topology::Ring;
+
+    /**
+     * Home-side contention: concurrent in-flight transaction slots
+     * per directory home. 0 (default) is the contention-free PR 9
+     * model — every home services requests instantly. When nonzero, a
+     * request that finds every slot of its home busy, or its block
+     * mid-transaction, is NACKed and retried with bounded exponential
+     * backoff, and every interconnect hop queues on a per-link
+     * utilization model (see DirectoryController).
+     */
+    unsigned dirOccupancy = 0;
+
     unsigned
     numL2s() const
     {
@@ -164,16 +216,81 @@ struct MachineConfig
         return static_cast<unsigned>((block / block_bytes) % numaNodes);
     }
 
+    /** Shortest-way distance between positions on a ring of `size`. */
+    static unsigned
+    ringDistance(unsigned a, unsigned b, unsigned size)
+    {
+        const unsigned d = a > b ? a - b : b - a;
+        return d < size - d ? d : size - d;
+    }
+
     /**
-     * Interconnect hop distance between two nodes. Nodes are linked
-     * in a ring (the simplest topology with a real distance metric);
-     * distance is the shorter way around.
+     * Mesh width (columns). The near-square factorization of the node
+     * count: height is the largest divisor not exceeding sqrt(n),
+     * width the cofactor, so width >= height and width * height == n.
+     * A prime node count degenerates to an n x 1 row — i.e. the ring.
+     */
+    unsigned
+    meshWidth() const
+    {
+        return numaNodes / meshHeight();
+    }
+
+    /** Mesh height (rows); see meshWidth(). */
+    unsigned
+    meshHeight() const
+    {
+        unsigned best = 1;
+        for (unsigned h = 1; h * h <= numaNodes; ++h) {
+            if (numaNodes % h == 0)
+                best = h;
+        }
+        return best;
+    }
+
+    /** Mesh X coordinate (column) of a node. */
+    unsigned meshX(unsigned node) const { return node % meshWidth(); }
+
+    /** Mesh Y coordinate (row) of a node. */
+    unsigned meshY(unsigned node) const { return node / meshWidth(); }
+
+    /**
+     * Interconnect hop distance between two nodes. Ring: the shorter
+     * way around. Mesh: dimension-ordered XY routing on the
+     * wrap-around grid — the Manhattan distance with each axis
+     * measured the shorter way around its ring, so the route length
+     * equals ringDistance in X plus ringDistance in Y and a W x 1
+     * mesh agrees with the W-node ring exactly.
      */
     unsigned
     hopsBetween(unsigned a, unsigned b) const
     {
-        unsigned d = a > b ? a - b : b - a;
-        return d < numaNodes - d ? d : numaNodes - d;
+        if (topology == Topology::Mesh) {
+            const unsigned w = meshWidth();
+            return ringDistance(a % w, b % w, w) +
+                   ringDistance(a / w, b / w, numaNodes / w);
+        }
+        return ringDistance(a, b, numaNodes);
+    }
+
+    /** X-axis leg of the dimension-ordered mesh route (0 under ring). */
+    unsigned
+    meshHopsX(unsigned a, unsigned b) const
+    {
+        if (topology != Topology::Mesh)
+            return 0;
+        const unsigned w = meshWidth();
+        return ringDistance(a % w, b % w, w);
+    }
+
+    /** Y-axis leg of the dimension-ordered mesh route (0 under ring). */
+    unsigned
+    meshHopsY(unsigned a, unsigned b) const
+    {
+        if (topology != Topology::Mesh)
+            return 0;
+        const unsigned w = meshWidth();
+        return ringDistance(a / w, b / w, numaNodes / w);
     }
 
     void
@@ -191,6 +308,16 @@ struct MachineConfig
             fatal("machine: the snooping bus is a single-node fabric; "
                   "numaNodes=", numaNodes,
                   " requires --protocol=directory");
+        }
+        if (protocol == CoherenceProtocol::SnoopBus &&
+            topology != Topology::Ring) {
+            fatal("machine: --topology=", toString(topology),
+                  " is a directory-interconnect option; the snooping "
+                  "bus has no point-to-point fabric");
+        }
+        if (protocol == CoherenceProtocol::SnoopBus && dirOccupancy != 0) {
+            fatal("machine: --dir-occupancy models directory homes; "
+                  "it requires --protocol=directory");
         }
         l1i.validate("l1i");
         l1d.validate("l1d");

@@ -1,6 +1,6 @@
 /**
  * @file
- * The `middlesim-trace-v2` binary reference-trace format.
+ * The `middlesim-trace-v3` binary reference-trace format.
  *
  * A trace file is the middlesim analogue of the paper's Simics->Sumo
  * hand-off: the complete interleaved per-CPU reference stream of one
@@ -10,13 +10,14 @@
  * Layout (all multi-byte scalars little-endian via sim/serialize.hh):
  *
  *   header:
- *     str   magic                "middlesim-trace-v2"
+ *     str   magic                "middlesim-trace-v3"
  *     str   specKey              canonical ExperimentSpec key
  *                                (core::encodeSpecKey; "" if the
  *                                recording was not spec-driven)
  *     str   label                human-readable point name
  *     u32   totalCpus, appCpus, cpusPerL2
  *     u8    protocol, u32 numaNodes
+ *     u8    topology, u32 dirOccupancy
  *     3x    CacheParams          l1i, l1d, l2 (u64 size, u32 assoc,
  *                                u32 block)
  *     9x    u64                  LatencyModel fields
@@ -59,7 +60,7 @@ namespace middlesim::trace
 {
 
 /** Format identifier; bump on any layout change. */
-inline constexpr const char *traceMagic = "middlesim-trace-v2";
+inline constexpr const char *traceMagic = "middlesim-trace-v3";
 
 /** File extension used for content-addressed trace artifacts. */
 inline constexpr const char *traceFileExt = ".mst";
@@ -91,6 +92,8 @@ struct TraceHeader
     unsigned cpusPerL2 = 1;
     sim::CoherenceProtocol protocol = sim::CoherenceProtocol::SnoopBus;
     unsigned numaNodes = 1;
+    sim::Topology topology = sim::Topology::Ring;
+    unsigned dirOccupancy = 0;
     sim::CacheParams l1i{16 * 1024, 4, 64};
     sim::CacheParams l1d{16 * 1024, 4, 64};
     sim::CacheParams l2{1u << 20, 4, 64};
@@ -114,6 +117,8 @@ struct TraceHeader
         m.cpusPerL2 = cpusPerL2;
         m.protocol = protocol;
         m.numaNodes = numaNodes;
+        m.topology = topology;
+        m.dirOccupancy = dirOccupancy;
         m.l1i = l1i;
         m.l1d = l1d;
         m.l2 = l2;

@@ -47,6 +47,8 @@ encodeHeader(sim::ByteWriter &w, const TraceHeader &h)
     w.u32(h.cpusPerL2);
     w.u8(static_cast<std::uint8_t>(h.protocol));
     w.u32(h.numaNodes);
+    w.u8(static_cast<std::uint8_t>(h.topology));
+    w.u32(h.dirOccupancy);
     encodeCacheParams(w, h.l1i);
     encodeCacheParams(w, h.l1d);
     encodeCacheParams(w, h.l2);
@@ -91,6 +93,9 @@ decodeHeader(sim::ByteReader &r, TraceHeader &out, std::string &err)
     const std::uint8_t protocol_raw = r.u8();
     h.protocol = static_cast<sim::CoherenceProtocol>(protocol_raw);
     h.numaNodes = r.u32();
+    const std::uint8_t topology_raw = r.u8();
+    h.topology = static_cast<sim::Topology>(topology_raw);
+    h.dirOccupancy = r.u32();
     bool caches_ok = decodeCacheParams(r, h.l1i);
     caches_ok = decodeCacheParams(r, h.l1d) && caches_ok;
     caches_ok = decodeCacheParams(r, h.l2) && caches_ok;
@@ -140,6 +145,12 @@ decodeHeader(sim::ByteReader &r, TraceHeader &out, std::string &err)
         h.numaNodes == 0 ||
         (h.totalCpus / h.cpusPerL2) % h.numaNodes != 0) {
         err = "invalid protocol/NUMA topology in header";
+        return false;
+    }
+    if (topology_raw > static_cast<std::uint8_t>(sim::Topology::Mesh) ||
+        (h.protocol == sim::CoherenceProtocol::SnoopBus &&
+         (h.topology != sim::Topology::Ring || h.dirOccupancy != 0))) {
+        err = "invalid interconnect topology/occupancy in header";
         return false;
     }
     out = std::move(h);

@@ -29,6 +29,7 @@
 #include "explore/interleave.hh"
 #include "explore/scheduler.hh"
 #include "mem/fault.hh"
+#include "sim/config.hh"
 #include "trace/format.hh"
 #include "trace/reader.hh"
 
@@ -218,6 +219,32 @@ TEST(ExploreInject, SkipL1BackInvalidateFoundExhaustively)
     expectFoundExhaustively(
         mem::FaultPlan::Kind::SkipL1BackInvalidate,
         "incl.l1-stale-after-write");
+}
+
+TEST(ExploreInject, NackStormFoundExhaustivelyWhenContended)
+{
+    // The nack-storm defect only exists on a contended directory
+    // home; DPOR must find it deterministically on the 2-CPU
+    // acceptance geometry at minimum home occupancy.
+    const Geometry g;
+    const mem::FaultPlan plan =
+        planFor(mem::FaultPlan::Kind::NackStorm);
+    const trace::TraceHeader header = explore::exploreHeader(
+        g.cpus, g.cpusPerL2, g.seed,
+        sim::CoherenceProtocol::DirectoryMesi, 2,
+        sim::Topology::Ring, 1);
+    const explore::Streams streams =
+        explore::makeStreams(g.cpus, g.blocks, g.refs, g.seed);
+    const explore::ExploreResult r = explore::explore(
+        header, streams, &plan, explore::ExploreOptions());
+    ASSERT_TRUE(r.foundViolation);
+    EXPECT_EQ(r.invariant, "dir.livelock");
+    ASSERT_FALSE(r.repro.empty());
+    // The minimal repro re-fires under the plan and checks clean on
+    // an unfaulted (but still contended) machine.
+    EXPECT_EQ(check::violatedInvariant(header, r.repro, &plan),
+              "dir.livelock");
+    EXPECT_EQ(check::violatedInvariant(header, r.repro), "");
 }
 
 TEST(ExploreInject, MatrixHoldsUnderDporAndNaive)
